@@ -1,0 +1,1 @@
+bench/bench_support.ml: Dl List Logic Printf Query Random Structure Unix

@@ -1,0 +1,166 @@
+(* The command-line front end:
+
+     omq_tool classify ONTOLOGY.dl
+     omq_tool eval ONTOLOGY.dl DATA.txt 'q(x) <- Thumb(x)'
+     omq_tool fig1
+     omq_tool corpus --seed 2017 -n 411
+     omq_tool decide ONTOLOGY.dl
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_tbox path =
+  try Ok (Dl.Parser.parse_tbox (read_file path)) with
+  | Dl.Parser.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Dl.Lexer.Lex_error { line; col; message } ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path line col message)
+  | Sys_error m -> Error m
+
+let ontology_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ONTOLOGY" ~doc:"DL ontology file (one axiom per line).")
+
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run path =
+    match load_tbox path with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        1
+    | Ok tbox ->
+        let o = Dl.Translate.tbox tbox in
+        Fmt.pr "DL name:   %s (depth %d)@." (Dl.Tbox.name tbox) (Dl.Tbox.depth tbox);
+        (match Gf.Fragment.of_ontology o with
+        | Some d -> Fmt.pr "fragment:  %s@." (Gf.Fragment.name d)
+        | None -> Fmt.pr "fragment:  outside uGF/uGC2@.");
+        let ev = Classify.Landscape.of_tbox tbox in
+        Fmt.pr "status:    %a@." Classify.Landscape.pp_evidence ev;
+        0
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Locate an ontology in the Figure 1 landscape.")
+    Term.(const run $ ontology_arg)
+
+let eval_cmd =
+  let data_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA" ~doc:"Instance file (one fact per line).")
+  in
+  let query_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"QUERY" ~doc:"UCQ, e.g. 'q(x) <- Thumb(x)'.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
+  in
+  let run path data query max_extra =
+    match load_tbox path with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        1
+    | Ok tbox -> (
+        try
+          let d = Structure.Parse.instance_of_string (read_file data) in
+          let q = Query.Parse.ucq_of_string query in
+          let omq = Omq.of_tbox tbox q in
+          if not (Omq.is_consistent ~max_extra omq d) then begin
+            Fmt.pr "instance inconsistent with the ontology: every tuple is an answer@.";
+            0
+          end
+          else begin
+            let answers = Omq.certain_answers ~max_extra omq d in
+            if Query.Ucq.is_boolean q then
+              Fmt.pr "certain: %b@." (answers <> [])
+            else begin
+              Fmt.pr "%d certain answer(s)@." (List.length answers);
+              List.iter
+                (fun t ->
+                  Fmt.pr "  (%a)@."
+                    Fmt.(list ~sep:comma Structure.Element.pp)
+                    t)
+                answers
+            end;
+            0
+          end
+        with
+        | Structure.Parse.Parse_error { line; message } ->
+            Fmt.epr "%s:%d: %s@." data line message;
+            1
+        | Query.Parse.Parse_error m ->
+            Fmt.epr "query: %s@." m;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Certain answers of a UCQ over an instance w.r.t. an ontology.")
+    Term.(const run $ ontology_arg $ data_arg $ query_arg $ bound_arg)
+
+let fig1_cmd =
+  let run () =
+    Fmt.pr "%-18s %-14s %-14s@." "fragment" "computed" "paper";
+    List.iter
+      (fun (name, (ev : Classify.Landscape.evidence), expected) ->
+        Fmt.pr "%-18s %-14s %-14s %s@." name
+          (Fmt.str "%a" Classify.Landscape.pp_status ev.status)
+          (Fmt.str "%a" Classify.Landscape.pp_status expected)
+          (if ev.status = expected then "ok" else "MISMATCH"))
+      Classify.Landscape.figure1;
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Regenerate the Figure 1 landscape.")
+    Term.(const run $ const ())
+
+let corpus_cmd =
+  let seed_arg = Arg.(value & opt int 2017 & info [ "seed" ] ~doc:"Corpus seed.") in
+  let n_arg = Arg.(value & opt int 411 & info [ "n" ] ~doc:"Corpus size.") in
+  let run seed n =
+    let corpus = Bioportal.Generate.corpus ~seed ~n () in
+    let table = Bioportal.Analyze.tabulate (List.map Bioportal.Analyze.analyze corpus) in
+    Fmt.pr "%a@." Bioportal.Analyze.pp_table table;
+    let pt, pf, pq = Bioportal.Analyze.paper_reference in
+    Fmt.pr "paper reference: %d total, %d in ALCHIF depth 2, %d in ALCHIQ depth 1@." pt pf pq;
+    0
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Generate the synthetic BioPortal corpus and print the Section 1 table.")
+    Term.(const run $ seed_arg $ n_arg)
+
+let decide_cmd =
+  let out_arg =
+    Arg.(value & opt int 5 & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
+  in
+  let run path max_outdegree =
+    match load_tbox path with
+    | Error m ->
+        Fmt.epr "%s@." m;
+        1
+    | Ok tbox -> (
+        let o = Dl.Translate.tbox tbox in
+        match Classify.Decide.decide ~max_outdegree o with
+        | Classify.Decide.Ptime_evidence n ->
+            Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n;
+            0
+        | Classify.Decide.Conp_hard w ->
+            Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
+              Structure.Instance.pp w;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:"Decide PTIME query evaluation by bouquet materializability (Theorem 13).")
+    Term.(const run $ ontology_arg $ out_arg)
+
+let () =
+  let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "omq_tool" ~version:"1.0" ~doc)
+          [ classify_cmd; eval_cmd; fig1_cmd; corpus_cmd; decide_cmd ]))

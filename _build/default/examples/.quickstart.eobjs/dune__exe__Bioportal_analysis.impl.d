@@ -1,0 +1,1 @@
+examples/bioportal_analysis.ml: Bioportal Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+examples/bioportal_analysis.mli:

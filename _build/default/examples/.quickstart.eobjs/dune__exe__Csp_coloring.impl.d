@@ -1,0 +1,1 @@
+examples/csp_coloring.ml: Bool Csp Fmt Gf List Reasoner Structure

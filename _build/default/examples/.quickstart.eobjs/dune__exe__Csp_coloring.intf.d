@@ -1,0 +1,1 @@
+examples/csp_coloring.mli:

@@ -1,0 +1,1 @@
+examples/datalog_rewriting.ml: Datalog Fmt List Logic Printf Query Random Reasoner Structure Unix

@@ -1,0 +1,1 @@
+examples/hand_fingers.ml: Classify Dl Fmt List Logic Material Printf Query Reasoner String Structure

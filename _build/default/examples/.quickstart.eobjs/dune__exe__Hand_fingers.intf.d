@@ -1,0 +1,1 @@
+examples/hand_fingers.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Dl Fmt List Omq Query Structure

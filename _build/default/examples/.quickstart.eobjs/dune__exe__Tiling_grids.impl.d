@@ -1,0 +1,1 @@
+examples/tiling_grids.ml: Array Dl Fmt List Option Query Reasoner String Structure Tm

@@ -1,0 +1,124 @@
+(* Theorem 5 / Theorem 7 in action: for ontologies with PTIME query
+   evaluation, certain answers are Datalog≠-rewritable. For the Horn
+   ontology
+
+     ∀x (A(x) → ∃y (R(x,y) ∧ B(y)))
+     ∀x,y (R(x,y) → (B(y) → C(x)))
+
+   and the query q(x) ← C(x), the rewriting is the Datalog program
+
+     goal(x) <- C(x)
+     goal(x) <- A(x)                 (the fresh B-successor fires rule 2)
+     goal(x) <- R(x,y), B(y)
+
+   evaluated bottom-up by the semi-naive engine. We validate it against
+   (a) the chase (a universal model) and (b) the bounded certain-answer
+   engine, on random instances.
+
+     dune exec examples/datalog_rewriting.exe
+*)
+
+let v s = Logic.Term.Var s
+
+let o_horn =
+  Logic.Ontology.make
+    [
+      Logic.Formula.Forall
+        ( [ "x" ],
+          Logic.Formula.Implies
+            ( Logic.Formula.Eq (v "x", v "x"),
+              Logic.Formula.Implies
+                ( Logic.Formula.Atom ("A", [ v "x" ]),
+                  Logic.Formula.Exists
+                    ( [ "y" ],
+                      Logic.Formula.And
+                        ( Logic.Formula.Atom ("R", [ v "x"; v "y" ]),
+                          Logic.Formula.Atom ("B", [ v "y" ]) ) ) ) ) );
+      Logic.Formula.Forall
+        ( [ "x"; "y" ],
+          Logic.Formula.Implies
+            ( Logic.Formula.Atom ("R", [ v "x"; v "y" ]),
+              Logic.Formula.Implies
+                ( Logic.Formula.Atom ("B", [ v "y" ]),
+                  Logic.Formula.Atom ("C", [ v "x" ]) ) ) );
+    ]
+
+let rewriting =
+  Datalog.Program.make ~goal:"goal"
+    [
+      Datalog.Program.rule ~head:("goal", [ v "x" ])
+        ~body:[ Datalog.Program.Pos ("C", [ v "x" ]) ];
+      Datalog.Program.rule ~head:("goal", [ v "x" ])
+        ~body:[ Datalog.Program.Pos ("A", [ v "x" ]) ];
+      Datalog.Program.rule ~head:("goal", [ v "x" ])
+        ~body:
+          [
+            Datalog.Program.Pos ("R", [ v "x"; v "y" ]);
+            Datalog.Program.Pos ("B", [ v "y" ]);
+          ];
+    ]
+
+let chase_rules =
+  [
+    Reasoner.Chase.rule ~name:"exists"
+      ~body:[ ("A", [ v "x" ]) ]
+      ~head:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ();
+    Reasoner.Chase.rule ~name:"propagate"
+      ~body:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ~head:[ ("C", [ v "x" ]) ]
+      ();
+  ]
+
+let qc = Query.Parse.cq_of_string "q(x) <- C(x)"
+
+let () =
+  Fmt.pr "=== Datalog rewriting of a PTIME ontology (Theorems 5 and 7) ===@.";
+  Fmt.pr "program:@.%a@.@." Datalog.Program.pp rewriting;
+  let rng = Random.State.make [| 31 |] in
+  let signature = Logic.Signature.of_list [ ("A", 1); ("B", 1); ("R", 2) ] in
+  let agree = ref 0 and total = ref 0 in
+  for i = 1 to 12 do
+    let d = Structure.Randgen.nonempty_instance ~rng ~signature ~size:4 ~p:0.3 in
+    let datalog_answers = Datalog.Seminaive.answers rewriting d in
+    let mismatches =
+      List.filter
+        (fun el ->
+          let by_datalog = List.mem [ el ] datalog_answers in
+          let by_chase = Reasoner.Chase.certain_cq chase_rules d qc [ el ] in
+          let by_certain =
+            Reasoner.Bounded.certain_cq ~max_extra:2 o_horn d qc [ el ]
+          in
+          incr total;
+          if by_datalog = by_chase && by_chase = by_certain then begin
+            incr agree;
+            false
+          end
+          else true)
+        (Structure.Instance.domain_list d)
+    in
+    if mismatches <> [] then
+      Fmt.pr "instance %d: MISMATCH at %a@." i
+        Fmt.(list ~sep:comma Structure.Element.pp)
+        mismatches
+  done;
+  Fmt.pr "rewriting = chase = certain answers on %d/%d checks@." !agree !total;
+
+  (* the rewriting also scales: transitive-style chains *)
+  Fmt.pr "@.chain scaling (certain C(n0), seconds):@.";
+  List.iter
+    (fun n ->
+      let d =
+        Structure.Instance.of_list
+          (("A", [ Structure.Element.Const "n0" ])
+          :: List.init n (fun i ->
+                 ( "R",
+                   [
+                     Structure.Element.Const (Printf.sprintf "n%d" i);
+                     Structure.Element.Const (Printf.sprintf "n%d" (i + 1));
+                   ] )))
+      in
+      let t0 = Unix.gettimeofday () in
+      let _ = Datalog.Seminaive.answers rewriting d in
+      Fmt.pr "  n=%-4d datalog %.4fs@." n (Unix.gettimeofday () -. t0))
+    [ 10; 50; 100 ]

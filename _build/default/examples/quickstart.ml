@@ -1,0 +1,42 @@
+(* Quickstart: build an ontology, an instance and a query; compute the
+   certain answers and locate the ontology in the Figure 1 landscape.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* The ontology, in the DL concrete syntax: every employed person
+     works on some project, and project work propagates to managers. *)
+  let tbox =
+    Dl.Parser.parse_tbox
+      {|Employee << exists worksOn . Project
+role worksOn << involvedIn|}
+  in
+  let ontology = Dl.Translate.tbox tbox in
+
+  (* The database: incomplete — nothing is said about what anna works
+     on. *)
+  let data =
+    Structure.Parse.instance_of_string
+      {|Employee(anna)
+worksOn(bob, apollo)
+Project(apollo)|}
+  in
+
+  (* The query: who is involved in some project? *)
+  let query = Query.Parse.cq_of_string "q(x) <- involvedIn(x,y), Project(y)" in
+
+  let omq = Omq.of_cq ontology query in
+
+  Fmt.pr "=== quickstart ===@.";
+  Fmt.pr "ontology:@.%a@." Dl.Tbox.pp tbox;
+  Fmt.pr "@.certain answers of %s:@." (Query.Cq.to_string query);
+  List.iter
+    (fun t ->
+      Fmt.pr "  (%a)@." Fmt.(list ~sep:comma Structure.Element.pp) t)
+    (Omq.certain_answers omq data);
+
+  (* anna is an answer even though her project is anonymous: the
+     ontology completes the data. *)
+  Fmt.pr "@.classification: %a@." Classify.Landscape.pp_evidence
+    (Omq.classify omq)

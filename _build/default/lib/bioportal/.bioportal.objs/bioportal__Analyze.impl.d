@@ -1,0 +1,1 @@
+lib/bioportal/analyze.ml: Classify Dl Fmt List

@@ -1,0 +1,1 @@
+lib/bioportal/analyze.mli: Classify Dl Fmt

@@ -1,0 +1,1 @@
+lib/bioportal/generate.ml: Dl List Printf Random

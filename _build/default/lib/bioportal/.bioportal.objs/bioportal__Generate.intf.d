@@ -1,0 +1,1 @@
+lib/bioportal/generate.mli: Dl Random

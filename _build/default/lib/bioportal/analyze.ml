@@ -1,0 +1,78 @@
+(* The Section 1 analysis: strip constructors outside ALCHIF, compute
+   depths, and count membership in the dichotomy fragments of Figure 1.
+   This mirrors what the paper did to the 411 BioPortal ontologies. *)
+
+module C = Dl.Concept
+
+(* Remove constructors outside ALCHIF: qualified number restrictions
+   (≥ n R C) / (≤ n R C) with n > 1 or a non-⊤ filler are approximated
+   by their ALCHIF consequences (∃R.C for ≥, ⊤ for ≤), matching the
+   paper's "after removing all constructors that do not fall within
+   ALCHIF". *)
+let rec to_alchif = function
+  | (C.Top | C.Bot | C.Atomic _) as c -> c
+  | C.Not c -> C.Not (to_alchif c)
+  | C.And (a, b) -> C.And (to_alchif a, to_alchif b)
+  | C.Or (a, b) -> C.Or (to_alchif a, to_alchif b)
+  | C.Exists (r, c) -> C.Exists (r, to_alchif c)
+  | C.Forall (r, c) -> C.Forall (r, to_alchif c)
+  | C.AtMost (1, r, C.Top) -> C.leq_one r
+  | C.AtLeast (n, r, c) ->
+      if n <= 1 then C.Exists (r, to_alchif c) else C.Exists (r, to_alchif c)
+  | C.AtMost (_, _, _) -> C.Top
+
+let tbox_to_alchif t =
+  List.map
+    (function
+      | Dl.Tbox.Sub (c, d) -> Dl.Tbox.Sub (to_alchif c, to_alchif d)
+      | ax -> ax)
+    t
+
+type report = {
+  name : string;
+  depth : int;
+  alchiq_depth1 : bool;  (** in ALCHIQ with depth ≤ 1 *)
+  alchif_depth2 : bool;  (** in ALCHIF with depth ≤ 2 after stripping *)
+  status : Classify.Landscape.status;  (** Figure 1 classification *)
+}
+
+let analyze t =
+  let stripped = tbox_to_alchif t in
+  let ev = Classify.Landscape.of_tbox t in
+  {
+    name = Dl.Tbox.name t;
+    depth = Dl.Tbox.depth t;
+    alchiq_depth1 = Dl.Tbox.within_alchiq t && Dl.Tbox.depth t <= 1;
+    alchif_depth2 =
+      Dl.Tbox.within_alchif stripped && Dl.Tbox.depth stripped <= 2;
+    status = ev.Classify.Landscape.status;
+  }
+
+type table = {
+  total : int;
+  in_alchif_depth2 : int;
+  in_alchiq_depth1 : int;
+  with_dichotomy : int;
+  deeper : int;
+}
+
+let tabulate reports =
+  let count p = List.length (List.filter p reports) in
+  {
+    total = List.length reports;
+    in_alchif_depth2 = count (fun r -> r.alchif_depth2);
+    in_alchiq_depth1 = count (fun r -> r.alchiq_depth1);
+    with_dichotomy =
+      count (fun r -> r.status = Classify.Landscape.Dichotomy);
+    deeper = count (fun r -> not r.alchif_depth2);
+  }
+
+let pp_table ppf t =
+  Fmt.pf ppf
+    "@[<v>corpus size:                 %d@ in ALCHIF with depth <= 2:   %d@ \
+     in ALCHIQ with depth <= 1:   %d@ classified with a dichotomy: %d@ \
+     outside (deeper):            %d@]"
+    t.total t.in_alchif_depth2 t.in_alchiq_depth1 t.with_dichotomy t.deeper
+
+(* The paper's reported numbers for the 411-ontology corpus. *)
+let paper_reference = (411, 405, 385)

@@ -1,0 +1,113 @@
+module C = Dl.Concept
+
+(* A synthetic stand-in for the BioPortal repository (Section 1): the
+   real corpus is 411 OWL ontologies we cannot ship, so we generate a
+   seeded corpus whose constructor and depth distribution is calibrated
+   to the proportions the paper reports — most ontologies are shallow
+   (depth 1, a few of depth 2, a handful deeper), role hierarchies are
+   common, number restrictions and global functionality are rarer. The
+   analyzer (the scientific content of the experiment) is identical to
+   what the paper's analysis needs. *)
+
+type profile = {
+  n_concepts : int;
+  n_roles : int;
+  n_axioms : int;
+  max_depth : int;
+  p_inverse : float;
+  p_exists : float;  (** vs forall at restrictions *)
+  p_qualified : float;  (** number restrictions (Q) *)
+  p_local_func : float;  (** (≤ 1 R) *)
+  p_role_axiom : float;
+  p_global_func : float;
+}
+
+(* Draw the depth class with the paper's marginals: of 411 ontologies,
+   385 have depth 1 (in ALCHIQ), 405 have depth ≤ 2 (in ALCHIF), the
+   rest are deeper. *)
+let draw_profile rng =
+  let r = Random.State.float rng 1.0 in
+  let max_depth = if r < 385.0 /. 411.0 then 1 else if r < 405.0 /. 411.0 then 2 else 3 in
+  {
+    n_concepts = 4 + Random.State.int rng 12;
+    n_roles = 2 + Random.State.int rng 4;
+    n_axioms = 5 + Random.State.int rng 25;
+    max_depth;
+    p_inverse = 0.2;
+    p_exists = 0.7;
+    p_qualified = (if max_depth = 1 then 0.25 else 0.0);
+    p_local_func = 0.15;
+    p_role_axiom = 0.3;
+    p_global_func = 0.05;
+  }
+
+let concept_name i = Printf.sprintf "C%d" i
+let role_name i = Printf.sprintf "r%d" i
+
+let random_role rng profile =
+  let r = role_name (Random.State.int rng profile.n_roles) in
+  if Random.State.float rng 1.0 < profile.p_inverse then C.Inv r else C.Name r
+
+(* A random concept of depth at most [depth]. *)
+let rec random_concept rng profile depth =
+  let atomic () = C.Atomic (concept_name (Random.State.int rng profile.n_concepts)) in
+  if depth = 0 then
+    match Random.State.int rng 5 with
+    | 0 -> C.Not (atomic ())
+    | 1 -> C.And (atomic (), atomic ())
+    | 2 -> C.Or (atomic (), atomic ())
+    | _ -> atomic ()
+  else
+    let filler () = random_concept rng profile (depth - 1) in
+    let role = random_role rng profile in
+    let r = Random.State.float rng 1.0 in
+    if r < profile.p_local_func then C.leq_one role
+    else if r < profile.p_local_func +. profile.p_qualified then
+      let n = 1 + Random.State.int rng 3 in
+      if Random.State.bool rng then C.AtLeast (n, role, filler ())
+      else C.AtMost (n, role, filler ())
+    else if Random.State.float rng 1.0 < profile.p_exists then
+      C.Exists (role, filler ())
+    else C.Forall (role, filler ())
+
+let random_axiom rng profile =
+  if Random.State.float rng 1.0 < profile.p_role_axiom then
+    if Random.State.float rng 1.0 < profile.p_global_func then
+      Dl.Tbox.Func (random_role rng profile)
+    else Dl.Tbox.RoleSub (random_role rng profile, random_role rng profile)
+  else
+    let lhs =
+      (* left sides are mostly atomic, as in real ontologies *)
+      if Random.State.float rng 1.0 < 0.8 then
+        C.Atomic (concept_name (Random.State.int rng profile.n_concepts))
+      else random_concept rng profile (min 1 profile.max_depth)
+    in
+    Dl.Tbox.Sub (lhs, random_concept rng profile profile.max_depth)
+
+(* One synthetic ontology. *)
+let ontology rng =
+  let profile = draw_profile rng in
+  (* ensure the drawn depth is realised by at least one axiom *)
+  let forced =
+    Dl.Tbox.Sub
+      ( C.Atomic (concept_name 0),
+        random_concept rng profile profile.max_depth )
+  in
+  let rec force_depth ax tries =
+    if Dl.Concept.depth (match ax with Dl.Tbox.Sub (_, d) -> d | _ -> C.Top)
+       = profile.max_depth
+       || tries > 20
+    then ax
+    else
+      force_depth
+        (Dl.Tbox.Sub
+           (C.Atomic (concept_name 0), random_concept rng profile profile.max_depth))
+        (tries + 1)
+  in
+  force_depth forced 0
+  :: List.init (profile.n_axioms - 1) (fun _ -> random_axiom rng profile)
+
+(* The corpus: [n] seeded ontologies. *)
+let corpus ?(seed = 2017) ?(n = 411) () =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun _ -> ontology rng)

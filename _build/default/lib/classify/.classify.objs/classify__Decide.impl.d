@@ -1,0 +1,1 @@
+lib/classify/decide.ml: List Logic Material Printf Random Reasoner Structure

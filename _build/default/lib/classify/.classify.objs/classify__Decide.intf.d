@@ -1,0 +1,1 @@
+lib/classify/decide.mli: Logic Structure

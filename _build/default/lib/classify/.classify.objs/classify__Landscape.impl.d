@@ -1,0 +1,1 @@
+lib/classify/landscape.ml: Dl Fmt Gf List Logic

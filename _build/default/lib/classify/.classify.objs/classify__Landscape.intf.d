@@ -1,0 +1,1 @@
+lib/classify/landscape.mli: Dl Fmt Gf Logic

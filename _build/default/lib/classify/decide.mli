@@ -1,0 +1,26 @@
+(** Deciding PTIME query evaluation (Theorem 13): for uGC{^ −}{_2}(1,=) /
+    ALCHIQ-depth-1 ontologies, PTIME evaluation coincides with
+    materializability, which reduces to materializability of bouquets of
+    outdegree ≤ |O| (Lemma 5). Bouquets are enumerated structurally plus
+    random samples; a failure is an exact coNP-hardness witness, success
+    is evidence relative to the enumeration and domain bounds. *)
+
+type verdict =
+  | Ptime_evidence of int
+  | Conp_hard of Structure.Instance.t
+
+(** The structured bouquet family over sig(O). *)
+val structured_bouquets :
+  Logic.Ontology.t -> max_outdegree:int -> Structure.Instance.t list
+
+(** Bouquets failing at the base bounds are re-checked with
+    [verify_extra] more domain elements to filter bound artifacts. *)
+val decide :
+  ?seed:int ->
+  ?max_outdegree:int ->
+  ?samples:int ->
+  ?extra:int ->
+  ?max_extra:int ->
+  ?verify_extra:int ->
+  Logic.Ontology.t ->
+  verdict

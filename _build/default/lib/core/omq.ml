@@ -1,0 +1,68 @@
+(* The public façade: ontology-mediated queries (O, q) and the analyses
+   the paper develops for them. Examples and the command-line tool only
+   use this module. *)
+
+type t = {
+  ontology : Logic.Ontology.t;
+  query : Query.Ucq.t;
+}
+
+let make ontology query = { ontology; query }
+let of_cq ontology cq = { ontology; query = Query.Ucq.of_cq cq }
+
+let of_tbox tbox query = { ontology = Dl.Translate.tbox tbox; query }
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Certain answer O,D ⊨ q(ā), up to [max_extra] fresh elements in the
+   countermodel search (exact for refutation; GF/GC2 have the finite
+   model property, so iterative deepening converges). *)
+let certain ?(max_extra = 2) omq d tuple =
+  Reasoner.Bounded.certain_ucq ~max_extra omq.ontology d omq.query tuple
+
+(* All certain answers over the active domain. *)
+let certain_answers ?(max_extra = 2) omq d =
+  let arity = Query.Ucq.arity omq.query in
+  let rec tuples k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest ->
+          List.map (fun e -> e :: rest) (Structure.Instance.domain_list d))
+        (tuples (k - 1))
+  in
+  List.filter (certain ~max_extra omq d) (tuples arity)
+
+let is_consistent ?(max_extra = 2) omq d =
+  Reasoner.Bounded.is_consistent ~max_extra omq.ontology d
+
+(* ------------------------------------------------------------------ *)
+(* Analyses                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1 classification of the ontology's minimal fragment. *)
+let classify omq = Classify.Landscape.of_ontology omq.ontology
+
+(* The minimal uGF/uGC2 fragment descriptor, if any. *)
+let fragment omq = Gf.Fragment.of_ontology omq.ontology
+
+(* Materializability of the ontology on a concrete instance. *)
+let materializable_on ?extra ?max_extra omq d =
+  Material.Materializability.materializable_on ?extra ?max_extra omq.ontology d
+
+(* The Theorem 5 type-based evaluation (binary signatures). *)
+let rewritten_certain ?extra omq d tuple =
+  match omq.query.Query.Ucq.disjuncts with
+  | [ cq ] -> Rewriting.Typeprog.entails ?extra omq.ontology cq d tuple
+  | _ -> invalid_arg "rewritten_certain: single-CQ queries only"
+
+(* Theorem 13: decide PTIME query evaluation by bouquet
+   materializability. *)
+let decide_ptime ?seed ?max_outdegree ?samples omq =
+  Classify.Decide.decide ?seed ?max_outdegree ?samples omq.ontology
+
+let pp ppf omq =
+  Fmt.pf ppf "@[<v>ontology:@ %a@ query:@ %a@]" Logic.Ontology.pp omq.ontology
+    Query.Ucq.pp omq.query

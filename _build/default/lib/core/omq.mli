@@ -1,0 +1,46 @@
+(** Ontology-mediated queries (O, q) — the paper's central object — and
+    the analyses developed for them. This is the library façade used by
+    the examples and the command-line tool. *)
+
+type t = {
+  ontology : Logic.Ontology.t;
+  query : Query.Ucq.t;
+}
+
+val make : Logic.Ontology.t -> Query.Ucq.t -> t
+val of_cq : Logic.Ontology.t -> Query.Cq.t -> t
+
+(** Build from a DL TBox via the standard translation. *)
+val of_tbox : Dl.Tbox.t -> Query.Ucq.t -> t
+
+(** Certain answer O,D ⊨ q(ā); refutations are exact, confirmations hold
+    up to [max_extra] fresh countermodel elements. *)
+val certain :
+  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list -> bool
+
+(** All certain answers over the active domain. *)
+val certain_answers :
+  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list list
+
+val is_consistent : ?max_extra:int -> t -> Structure.Instance.t -> bool
+
+(** Figure 1 classification of the ontology. *)
+val classify : t -> Classify.Landscape.evidence
+
+(** The minimal uGF/uGC2 fragment descriptor. *)
+val fragment : t -> Gf.Fragment.t option
+
+(** Materializability on an instance (bounded search). *)
+val materializable_on :
+  ?extra:int -> ?max_extra:int -> t -> Structure.Instance.t -> bool
+
+(** The Theorem 5 type-based evaluation (single-CQ queries over binary
+    signatures). *)
+val rewritten_certain :
+  ?extra:int -> t -> Structure.Instance.t -> Structure.Element.t list -> bool
+
+(** Theorem 13: decide PTIME query evaluation. *)
+val decide_ptime :
+  ?seed:int -> ?max_outdegree:int -> ?samples:int -> t -> Classify.Decide.verdict
+
+val pp : t Fmt.t

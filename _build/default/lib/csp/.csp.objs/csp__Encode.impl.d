@@ -1,0 +1,1 @@
+lib/csp/encode.ml: List Logic Precolor Printf Query Structure Template

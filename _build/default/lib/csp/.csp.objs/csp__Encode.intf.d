@@ -1,0 +1,1 @@
+lib/csp/encode.mli: Logic Query Structure Template

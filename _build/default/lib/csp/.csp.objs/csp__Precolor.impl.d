@@ -1,0 +1,1 @@
+lib/csp/precolor.ml: List Structure Template

@@ -1,0 +1,1 @@
+lib/csp/precolor.mli: Structure Template

@@ -1,0 +1,1 @@
+lib/csp/solve.ml: List Option Queue Structure Template

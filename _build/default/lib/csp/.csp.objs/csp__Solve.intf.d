@@ -1,0 +1,1 @@
+lib/csp/solve.mli: Structure Template

@@ -1,0 +1,1 @@
+lib/csp/template.ml: Fmt List Logic Printf Structure

@@ -1,0 +1,1 @@
+lib/csp/template.mli: Fmt Logic Structure

@@ -1,0 +1,22 @@
+(* Precoloring (Section 6): a template A admits precoloring if for each
+   a ∈ dom(A) there is a unary relation P_a holding exactly at a. Every
+   CSP is polynomially equivalent to one of this form. *)
+
+let predicate e = "P_" ^ Structure.Element.to_string e
+
+(* Extend a template with its precoloring predicates. *)
+let closure (t : Template.t) =
+  let with_preds =
+    List.fold_left
+      (fun inst a ->
+        Structure.Instance.add_fact
+          (Structure.Instance.fact (predicate a) [ a ])
+          inst)
+      t.instance
+      (Template.domain t)
+  in
+  { Template.name = t.Template.name ^ "+pre"; instance = with_preds }
+
+(* Pin element [x] of an input instance to template element [a]. *)
+let pin x a d =
+  Structure.Instance.add_fact (Structure.Instance.fact (predicate a) [ x ]) d

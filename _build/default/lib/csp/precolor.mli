@@ -1,0 +1,14 @@
+(** Precoloring of templates (Section 6): unary predicates P{_a} holding
+    exactly at [a], so inputs can pin elements to template values. *)
+
+val predicate : Structure.Element.t -> string
+
+(** Template extended with its precoloring predicates. *)
+val closure : Template.t -> Template.t
+
+(** Pin an input element to a template element. *)
+val pin :
+  Structure.Element.t ->
+  Structure.Element.t ->
+  Structure.Instance.t ->
+  Structure.Instance.t

@@ -1,0 +1,53 @@
+module ESet = Structure.Element.Set
+
+(* CSP templates (Section 6): finite structures A with relations of
+   arity at most two; CSP(A) asks for a homomorphism D → A. *)
+
+type t = {
+  name : string;
+  instance : Structure.Instance.t;
+}
+
+exception Bad_template of string
+
+let of_instance ~name instance =
+  if Logic.Signature.max_arity (Structure.Instance.signature instance) > 2
+  then raise (Bad_template "template relations must have arity <= 2");
+  { name; instance }
+
+let domain t = Structure.Instance.domain_list t.instance
+let signature t = Structure.Instance.signature t.instance
+
+(* K_n with the edge relation "E": the template of n-colourability. *)
+let k_colouring n =
+  let vertices = List.init n (fun i -> Structure.Element.Const (Printf.sprintf "col%d" i)) in
+  let facts =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Structure.Element.equal a b then None
+            else Some (Structure.Instance.fact "E" [ a; b ]))
+          vertices)
+      vertices
+  in
+  { name = Printf.sprintf "K%d" n; instance = Structure.Instance.of_facts facts }
+
+(* A template whose CSP is solvable in PTIME by arc consistency:
+   directed reachability to a sink ("Horn-like"). *)
+let implication_template =
+  let t = Structure.Element.Const "t" and f = Structure.Element.Const "f" in
+  let facts =
+    [
+      Structure.Instance.fact "Imp" [ f; f ];
+      Structure.Instance.fact "Imp" [ f; t ];
+      Structure.Instance.fact "Imp" [ t; t ];
+      Structure.Instance.fact "T" [ t ];
+      Structure.Instance.fact "F" [ f ];
+    ]
+  in
+  { name = "implication"; instance = Structure.Instance.of_facts facts }
+
+let pp ppf t =
+  Fmt.pf ppf "template %s over %d elements" t.name
+    (Structure.Instance.domain_size t.instance)

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Fmt List Logic Printf String

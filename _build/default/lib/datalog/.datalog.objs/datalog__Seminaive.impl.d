@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: List Logic Program Query Structure

@@ -1,0 +1,36 @@
+(** Datalog and Datalog≠ programs (Appendix B): rules with positive body
+    atoms and optional inequalities, and a selected goal relation. *)
+
+type atom = string * Logic.Term.t list
+
+type literal =
+  | Pos of atom
+  | Neq of Logic.Term.t * Logic.Term.t
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type t = {
+  rules : rule list;
+  goal : string;
+}
+
+exception Unsafe_rule of string
+
+(** Smart constructor checking range restriction.
+    @raise Unsafe_rule otherwise. *)
+val rule : head:atom -> body:literal list -> rule
+
+(** @raise Unsafe_rule when a rule is not range-restricted. *)
+val make : ?goal:string -> rule list -> t
+
+val atom_vars : atom -> Logic.Names.SSet.t
+val positive_atoms : literal list -> atom list
+val intensional : t -> Logic.Names.SSet.t
+val uses_inequality : t -> bool
+val arity_of_goal : t -> int option
+val pp_rule : rule Fmt.t
+val pp : t Fmt.t
+val size : t -> int

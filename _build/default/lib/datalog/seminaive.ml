@@ -1,0 +1,148 @@
+module SSet = Logic.Names.SSet
+module SMap = Logic.Names.SMap
+module EMap = Structure.Element.Map
+
+(* Semi-naive bottom-up evaluation: in every round after the first, a
+   rule only fires through matches that use at least one fact derived in
+   the previous round (the delta), found by pinning one positive body
+   atom to each delta fact in turn. *)
+
+let body_vars body =
+  List.fold_left
+    (fun acc a -> SSet.union acc (Program.atom_vars a))
+    SSet.empty
+    (Program.positive_atoms body)
+
+(* Evaluate all bindings of [body]'s variables against [inst]; when
+   [pin = Some (atom, fact)] the given atom is matched against exactly
+   that fact. Returns bindings as maps var -> element. *)
+let body_bindings inst body ~pin =
+  let atoms = Program.positive_atoms body in
+  let q = Query.Cq.make ~name:"body" ~answer:[] atoms in
+  let db = Query.Cq.canonical_db q in
+  (* Extend a fixing consistently; [None] when the pin clashes. *)
+  let extend_fixing fixed ts args =
+    List.fold_left2
+      (fun acc t target ->
+        match acc with
+        | None -> None
+        | Some m -> (
+            let key = Query.Cq.term_element t in
+            match EMap.find_opt key m with
+            | Some existing when not (Structure.Element.equal existing target)
+              ->
+                None
+            | _ -> Some (EMap.add key target m)))
+      (Some fixed) ts args
+  in
+  let fixed =
+    match pin with
+    | None -> Some (Query.Cq.constant_fixing q)
+    | Some ((_, ts), (fact : Structure.Instance.fact)) ->
+        if List.length ts <> List.length fact.args then None
+        else extend_fixing (Query.Cq.constant_fixing q) ts fact.args
+  in
+  match fixed with
+  | None -> []
+  | Some fixed ->
+      Structure.Homomorphism.fold ~fixed ~source:db ~target:inst
+        (fun m acc ->
+          let bind =
+            SSet.fold
+              (fun v b -> SMap.add v (EMap.find (Query.Cq.var_element v) m) b)
+              (body_vars body) SMap.empty
+          in
+          (false, bind :: acc))
+        []
+
+let neq_holds bind (s, t) =
+  let value = function
+    | Logic.Term.Const c -> Structure.Element.Const c
+    | Logic.Term.Var v -> SMap.find v bind
+  in
+  not (Structure.Element.equal (value s) (value t))
+
+let instantiate_head bind (r, ts) =
+  Structure.Instance.fact r
+    (List.map
+       (function
+         | Logic.Term.Const c -> Structure.Element.Const c
+         | Logic.Term.Var v -> SMap.find v bind)
+       ts)
+
+let fire_rule inst (rule : Program.rule) ~pin =
+  List.filter_map
+    (fun bind ->
+      let neqs_ok =
+        List.for_all
+          (function
+            | Program.Neq (s, t) -> neq_holds bind (s, t)
+            | Program.Pos _ -> true)
+          rule.body
+      in
+      if neqs_ok then Some (instantiate_head bind rule.head) else None)
+    (body_bindings inst rule.body ~pin)
+
+(* Full fixpoint. *)
+let evaluate (p : Program.t) edb =
+  (* Round 0: naive evaluation of every rule. *)
+  let new_facts inst facts =
+    List.filter (fun f -> not (Structure.Instance.mem f inst)) facts
+  in
+  let initial =
+    List.concat_map (fun r -> fire_rule edb r ~pin:None) p.rules
+  in
+  let rec loop inst delta =
+    if delta = [] then inst
+    else begin
+      let inst' =
+        List.fold_left (fun i f -> Structure.Instance.add_fact f i) inst delta
+      in
+      let derived =
+        List.concat_map
+          (fun (r : Program.rule) ->
+            List.concat_map
+              (fun atom ->
+                List.concat_map
+                  (fun (d : Structure.Instance.fact) ->
+                    if d.rel = fst atom then
+                      fire_rule inst' r ~pin:(Some (atom, d))
+                    else [])
+                  delta)
+              (Program.positive_atoms r.body))
+          p.rules
+      in
+      let fresh =
+        List.sort_uniq Structure.Instance.compare_fact (new_facts inst' derived)
+      in
+      loop inst' fresh
+    end
+  in
+  loop edb (List.sort_uniq Structure.Instance.compare_fact (new_facts edb initial))
+
+(* Goal answers D |= Π(ā). *)
+let answers p edb =
+  let result = evaluate p edb in
+  Structure.Instance.tuples p.Program.goal result
+  |> List.sort_uniq (List.compare Structure.Element.compare)
+
+let holds p edb tuple =
+  let result = evaluate p edb in
+  Structure.Instance.mem (Structure.Instance.fact p.Program.goal tuple) result
+
+(* Reference naive evaluation (for testing). *)
+let evaluate_naive (p : Program.t) edb =
+  let step inst =
+    List.fold_left
+      (fun i (r : Program.rule) ->
+        List.fold_left
+          (fun i f -> Structure.Instance.add_fact f i)
+          i
+          (fire_rule inst r ~pin:None))
+      inst p.rules
+  in
+  let rec loop inst =
+    let inst' = step inst in
+    if Structure.Instance.equal inst' inst then inst else loop inst'
+  in
+  loop edb

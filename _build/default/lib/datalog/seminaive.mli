@@ -1,0 +1,17 @@
+(** Bottom-up Datalog≠ evaluation. [evaluate] is semi-naive: after the
+    first round, rules only fire through matches touching the previous
+    round's delta. [evaluate_naive] is the reference implementation used
+    in tests. *)
+
+(** All derivable facts (EDB ∪ IDB fixpoint). *)
+val evaluate : Program.t -> Structure.Instance.t -> Structure.Instance.t
+
+(** Tuples of the goal relation, sorted. *)
+val answers :
+  Program.t -> Structure.Instance.t -> Structure.Element.t list list
+
+(** D ⊨ Π(ā). *)
+val holds :
+  Program.t -> Structure.Instance.t -> Structure.Element.t list -> bool
+
+val evaluate_naive : Program.t -> Structure.Instance.t -> Structure.Instance.t

@@ -1,0 +1,1 @@
+lib/dl/concept.ml: Fmt List Logic Stdlib

@@ -1,0 +1,1 @@
+lib/dl/concept.mli: Fmt Logic

@@ -1,0 +1,1 @@
+lib/dl/lexer.ml: Fmt List Printf String

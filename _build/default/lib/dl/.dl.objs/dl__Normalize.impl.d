@@ -1,0 +1,1 @@
+lib/dl/normalize.ml: Concept Hashtbl List Logic Tbox

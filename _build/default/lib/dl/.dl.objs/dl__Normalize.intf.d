@@ -1,0 +1,1 @@
+lib/dl/normalize.mli: Tbox

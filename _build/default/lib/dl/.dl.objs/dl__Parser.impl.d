@@ -1,0 +1,1 @@
+lib/dl/parser.ml: Concept Fmt Lexer List String Tbox

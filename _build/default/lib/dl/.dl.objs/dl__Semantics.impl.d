@@ -1,0 +1,1 @@
+lib/dl/semantics.ml: Concept List Structure Tbox

@@ -1,0 +1,1 @@
+lib/dl/semantics.mli: Concept Structure Tbox

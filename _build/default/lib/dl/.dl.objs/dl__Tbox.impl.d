@@ -1,0 +1,1 @@
+lib/dl/tbox.ml: Concept Fmt List Logic

@@ -1,0 +1,1 @@
+lib/dl/tbox.mli: Concept Fmt Logic

@@ -1,0 +1,1 @@
+lib/dl/translate.ml: Concept List Logic Tbox

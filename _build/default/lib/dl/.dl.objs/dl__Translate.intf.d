@@ -1,0 +1,1 @@
+lib/dl/translate.mli: Concept Logic Tbox

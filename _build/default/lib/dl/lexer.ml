@@ -1,0 +1,91 @@
+type token =
+  | IDENT of string
+  | NUM of int
+  | SUBSUMES  (** << *)
+  | LEQ  (** <= *)
+  | GEQ  (** >= *)
+  | EXACT  (** == *)
+  | DOT
+  | LPAREN
+  | RPAREN
+  | MINUS
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUM n -> Fmt.pf ppf "number %d" n
+  | SUBSUMES -> Fmt.string ppf "'<<'"
+  | LEQ -> Fmt.string ppf "'<='"
+  | GEQ -> Fmt.string ppf "'>='"
+  | EXACT -> Fmt.string ppf "'=='"
+  | DOT -> Fmt.string ppf "'.'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | EOF -> Fmt.string ppf "end of line"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenise one line; [line] is used only for error reporting. *)
+let tokenize ~line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let error col message = raise (Lex_error { line; col; message }) in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then i := n (* comment to end of line *)
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      toks := IDENT (String.sub s start (!i - start)) :: !toks
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      toks := NUM (int_of_string (String.sub s start (!i - start))) :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<<" ->
+          toks := SUBSUMES :: !toks;
+          i := !i + 2
+      | "<=" ->
+          toks := LEQ :: !toks;
+          i := !i + 2
+      | ">=" ->
+          toks := GEQ :: !toks;
+          i := !i + 2
+      | "==" ->
+          toks := EXACT :: !toks;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '.' ->
+              toks := DOT :: !toks;
+              incr i
+          | '(' ->
+              toks := LPAREN :: !toks;
+              incr i
+          | ')' ->
+              toks := RPAREN :: !toks;
+              incr i
+          | '-' ->
+              toks := MINUS :: !toks;
+              incr i
+          | _ -> error !i (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  List.rev (EOF :: !toks)

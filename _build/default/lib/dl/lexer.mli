@@ -1,0 +1,22 @@
+(** Line-based lexer for the DL concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | NUM of int
+  | SUBSUMES
+  | LEQ
+  | GEQ
+  | EXACT
+  | DOT
+  | LPAREN
+  | RPAREN
+  | MINUS
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+val pp_token : token Fmt.t
+
+(** Tokenise one line ('#' starts a comment).
+    @raise Lex_error on unexpected characters. *)
+val tokenize : line:int -> string -> token list

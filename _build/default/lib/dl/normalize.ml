@@ -1,0 +1,61 @@
+(* Depth-1 normalisation: the straightforward polynomial-time
+   construction of a conservative extension of depth one mentioned after
+   Example 3 of the paper. Every filler of depth ≥ 1 under a role
+   restriction is replaced by a fresh atomic concept defined by two
+   inclusion axioms. *)
+
+(* Abstract deep fillers in one concept; definitions are emitted as
+   axioms whose right/left sides may still be deep (the caller loops). *)
+let rec abstract_fillers cache c =
+  match c with
+  | Concept.Top | Concept.Bot | Concept.Atomic _ -> (c, [])
+  | Concept.Not d ->
+      let d', defs = abstract_fillers cache d in
+      (Concept.Not d', defs)
+  | Concept.And (a, b) ->
+      let a', da = abstract_fillers cache a in
+      let b', db = abstract_fillers cache b in
+      (Concept.And (a', b'), da @ db)
+  | Concept.Or (a, b) ->
+      let a', da = abstract_fillers cache a in
+      let b', db = abstract_fillers cache b in
+      (Concept.Or (a', b'), da @ db)
+  | Concept.Exists (r, f) ->
+      let f', defs = name_filler cache f in
+      (Concept.Exists (r, f'), defs)
+  | Concept.Forall (r, f) ->
+      let f', defs = name_filler cache f in
+      (Concept.Forall (r, f'), defs)
+  | Concept.AtLeast (n, r, f) ->
+      let f', defs = name_filler cache f in
+      (Concept.AtLeast (n, r, f'), defs)
+  | Concept.AtMost (n, r, f) ->
+      let f', defs = name_filler cache f in
+      (Concept.AtMost (n, r, f'), defs)
+
+and name_filler cache f =
+  if Concept.depth f = 0 then (f, [])
+  else
+    match Hashtbl.find_opt cache f with
+    | Some a -> (Concept.Atomic a, [])
+    | None ->
+        let a = Logic.Names.gensym "Def" in
+        Hashtbl.replace cache f a;
+        ( Concept.Atomic a,
+          [ Tbox.Sub (Concept.Atomic a, f); Tbox.Sub (f, Concept.Atomic a) ] )
+
+(* Normalise a TBox so that every axiom has depth ≤ 1. The result is a
+   conservative extension: fresh names are defined to be equivalent to
+   the concepts they abbreviate. *)
+let to_depth_one (t : Tbox.t) =
+  let cache = Hashtbl.create 16 in
+  let rec work acc = function
+    | [] -> List.rev acc
+    | Tbox.Sub (c, d) :: rest
+      when Concept.depth c > 1 || Concept.depth d > 1 ->
+        let c', dc = abstract_fillers cache c in
+        let d', dd = abstract_fillers cache d in
+        work (Tbox.Sub (c', d') :: acc) (dc @ dd @ rest)
+    | ax :: rest -> work (ax :: acc) rest
+  in
+  work [] t

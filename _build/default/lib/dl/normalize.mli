@@ -1,0 +1,5 @@
+(** Depth-1 normalisation of TBoxes: the polynomial conservative
+    extension of depth one (remark after Example 3 of the paper). Deep
+    fillers are replaced by fresh defined concept names. *)
+
+val to_depth_one : Tbox.t -> Tbox.t

@@ -1,0 +1,172 @@
+(* Recursive-descent parser for the DL concrete syntax. One axiom per
+   line:
+
+     C << D                  concept inclusion
+     role r << s             role inclusion
+     func r                  (partial) functionality;  r- for inverses
+
+   Concepts:
+
+     disj   := conj ('or' conj)*
+     conj   := unary ('and' unary)*
+     unary  := 'not' unary | 'exists' role '.' unary
+             | 'forall' role '.' unary
+             | '>=' NUM role ['.' unary] | '<=' NUM role ['.' unary]
+             | '==' NUM role ['.' unary]
+             | '(' disj ')' | 'Top' | 'Bot' | IDENT
+     role   := IDENT ['-']
+*)
+
+exception Parse_error of { line : int; message : string }
+
+type state = {
+  mutable toks : Lexer.token list;
+  line : int;
+}
+
+let error st message = raise (Parse_error { line = st.line; message })
+
+let peek st = match st.toks with t :: _ -> t | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st
+      (Fmt.str "expected %s but found %a" what Lexer.pp_token (peek st))
+
+let parse_role st =
+  match peek st with
+  | Lexer.IDENT r ->
+      advance st;
+      if peek st = Lexer.MINUS then begin
+        advance st;
+        Concept.Inv r
+      end
+      else Concept.Name r
+  | t -> error st (Fmt.str "expected a role name, found %a" Lexer.pp_token t)
+
+let parse_restriction_filler st parse_unary =
+  if peek st = Lexer.DOT then begin
+    advance st;
+    parse_unary st
+  end
+  else Concept.Top
+
+let rec parse_disj st =
+  let c = parse_conj st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.IDENT "or" ->
+        advance st;
+        loop (Concept.Or (acc, parse_conj st))
+    | _ -> acc
+  in
+  loop c
+
+and parse_conj st =
+  let c = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.IDENT "and" ->
+        advance st;
+        loop (Concept.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop c
+
+and parse_unary st =
+  match peek st with
+  | Lexer.IDENT "not" ->
+      advance st;
+      Concept.Not (parse_unary st)
+  | Lexer.IDENT "exists" ->
+      advance st;
+      let r = parse_role st in
+      expect st Lexer.DOT "'.'";
+      Concept.Exists (r, parse_unary st)
+  | Lexer.IDENT "forall" ->
+      advance st;
+      let r = parse_role st in
+      expect st Lexer.DOT "'.'";
+      Concept.Forall (r, parse_unary st)
+  | Lexer.GEQ ->
+      advance st;
+      let n = parse_num st in
+      let r = parse_role st in
+      Concept.AtLeast (n, r, parse_restriction_filler st parse_unary)
+  | Lexer.LEQ ->
+      advance st;
+      let n = parse_num st in
+      let r = parse_role st in
+      Concept.AtMost (n, r, parse_restriction_filler st parse_unary)
+  | Lexer.EXACT ->
+      advance st;
+      let n = parse_num st in
+      let r = parse_role st in
+      let f = parse_restriction_filler st parse_unary in
+      Concept.exactly n r f
+  | Lexer.LPAREN ->
+      advance st;
+      let c = parse_disj st in
+      expect st Lexer.RPAREN "')'";
+      c
+  | Lexer.IDENT "Top" ->
+      advance st;
+      Concept.Top
+  | Lexer.IDENT "Bot" ->
+      advance st;
+      Concept.Bot
+  | Lexer.IDENT a ->
+      advance st;
+      Concept.Atomic a
+  | t -> error st (Fmt.str "expected a concept, found %a" Lexer.pp_token t)
+
+and parse_num st =
+  match peek st with
+  | Lexer.NUM n ->
+      advance st;
+      n
+  | t -> error st (Fmt.str "expected a number, found %a" Lexer.pp_token t)
+
+let parse_axiom_line st =
+  match peek st with
+  | Lexer.IDENT "role" ->
+      advance st;
+      let r = parse_role st in
+      expect st Lexer.SUBSUMES "'<<'";
+      let s = parse_role st in
+      expect st Lexer.EOF "end of line";
+      Tbox.RoleSub (r, s)
+  | Lexer.IDENT "func" ->
+      advance st;
+      let r = parse_role st in
+      expect st Lexer.EOF "end of line";
+      Tbox.Func r
+  | _ ->
+      let c = parse_disj st in
+      expect st Lexer.SUBSUMES "'<<'";
+      let d = parse_disj st in
+      expect st Lexer.EOF "end of line";
+      Tbox.Sub (c, d)
+
+(* Parse a whole ontology text, one axiom per non-empty line. *)
+let parse_tbox text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i raw ->
+         let line = i + 1 in
+         let toks = Lexer.tokenize ~line raw in
+         match toks with
+         | [ Lexer.EOF ] -> []
+         | _ -> [ parse_axiom_line { toks; line } ])
+       lines)
+
+let parse_concept text =
+  let st = { toks = Lexer.tokenize ~line:1 text; line = 1 } in
+  let c = parse_disj st in
+  expect st Lexer.EOF "end of input";
+  c

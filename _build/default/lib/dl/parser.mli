@@ -1,0 +1,17 @@
+(** Parser for the DL concrete syntax (one axiom per line):
+
+    {v
+    Hand << exists hasFinger . Thumb
+    Hand << >= 5 hasFinger
+    role hasFinger << hasPart
+    func hasFinger
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Parse an ontology text.
+    @raise Parse_error / {!Lexer.Lex_error} on malformed input. *)
+val parse_tbox : string -> Tbox.t
+
+(** Parse a single concept expression. *)
+val parse_concept : string -> Concept.t

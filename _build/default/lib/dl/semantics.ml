@@ -1,0 +1,65 @@
+module ESet = Structure.Element.Set
+
+(* Direct set-theoretic semantics of DL concepts over an interpretation
+   (Appendix A), used to cross-validate the FO translation. *)
+
+let role_successors inst role x =
+  let matches (f : Structure.Instance.fact) =
+    match (role, f.args) with
+    | Concept.Name r, [ a; b ] when f.rel = r && Structure.Element.equal a x ->
+        Some b
+    | Concept.Inv r, [ a; b ] when f.rel = r && Structure.Element.equal b x ->
+        Some a
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc f -> match matches f with Some y -> ESet.add y acc | None -> acc)
+    ESet.empty
+    (Structure.Instance.incident x inst)
+
+let rec extension inst c =
+  let dom = Structure.Instance.domain inst in
+  match c with
+  | Concept.Top -> dom
+  | Concept.Bot -> ESet.empty
+  | Concept.Atomic a ->
+      ESet.filter
+        (fun x -> Structure.Instance.mem (Structure.Instance.fact a [ x ]) inst)
+        dom
+  | Concept.Not d -> ESet.diff dom (extension inst d)
+  | Concept.And (a, b) -> ESet.inter (extension inst a) (extension inst b)
+  | Concept.Or (a, b) -> ESet.union (extension inst a) (extension inst b)
+  | Concept.Exists (r, d) ->
+      let de = extension inst d in
+      ESet.filter
+        (fun x -> not (ESet.is_empty (ESet.inter (role_successors inst r x) de)))
+        dom
+  | Concept.Forall (r, d) ->
+      let de = extension inst d in
+      ESet.filter (fun x -> ESet.subset (role_successors inst r x) de) dom
+  | Concept.AtLeast (n, r, d) ->
+      let de = extension inst d in
+      ESet.filter
+        (fun x ->
+          ESet.cardinal (ESet.inter (role_successors inst r x) de) >= n)
+        dom
+  | Concept.AtMost (n, r, d) ->
+      let de = extension inst d in
+      ESet.filter
+        (fun x ->
+          ESet.cardinal (ESet.inter (role_successors inst r x) de) <= n)
+        dom
+
+let satisfies_axiom inst = function
+  | Tbox.Sub (c, d) -> ESet.subset (extension inst c) (extension inst d)
+  | Tbox.RoleSub (r, s) ->
+      ESet.for_all
+        (fun x ->
+          ESet.subset (role_successors inst r x) (role_successors inst s x))
+        (Structure.Instance.domain inst)
+  | Tbox.Func r ->
+      ESet.for_all
+        (fun x -> ESet.cardinal (role_successors inst r x) <= 1)
+        (Structure.Instance.domain inst)
+
+let is_model inst tbox = List.for_all (satisfies_axiom inst) tbox

@@ -1,0 +1,97 @@
+module F = Logic.Formula
+module T = Logic.Term
+
+(* The standard translation ·* of DL concepts into the two-variable
+   guarded fragment (Appendix A): concepts become openGF / openGC2
+   formulas with one free variable, alternating between the two
+   variables "x" and "y". Smart constructors collapse Top/Bot so the
+   output stays inside the fragment. *)
+
+let other = function "x" -> "y" | _ -> "x"
+
+let role_atom role cur nxt =
+  match role with
+  | Concept.Name r -> F.atom r [ T.Var cur; T.Var nxt ]
+  | Concept.Inv r -> F.atom r [ T.Var nxt; T.Var cur ]
+
+let rec concept_formula c cur =
+  let nxt = other cur in
+  match c with
+  | Concept.Top -> F.tru
+  | Concept.Bot -> F.fls
+  | Concept.Atomic a -> F.atom a [ T.Var cur ]
+  | Concept.Not d -> F.neg (concept_formula d cur)
+  | Concept.And (a, b) ->
+      F.conj2 (concept_formula a cur) (concept_formula b cur)
+  | Concept.Or (a, b) ->
+      F.disj2 (concept_formula a cur) (concept_formula b cur)
+  | Concept.Exists (r, d) ->
+      F.exists [ nxt ] (F.conj2 (role_atom r cur nxt) (concept_formula d nxt))
+  | Concept.Forall (r, d) -> (
+      match concept_formula d nxt with
+      (* ∀R.⊥ is ¬∃y R(x,y), keeping the formula guarded *)
+      | F.False -> F.neg (F.exists [ nxt ] (role_atom r cur nxt))
+      | body -> F.forall [ nxt ] (F.implies (role_atom r cur nxt) body))
+  | Concept.AtLeast (n, r, d) ->
+      F.count_geq n nxt (F.conj2 (role_atom r cur nxt) (concept_formula d nxt))
+  | Concept.AtMost (n, r, d) ->
+      F.neg
+        (F.count_geq (n + 1) nxt
+           (F.conj2 (role_atom r cur nxt) (concept_formula d nxt)))
+
+(* C ⊑ D becomes the uGF−/uGC− sentence ∀x (x = x → (C*(x) → D*(x))). *)
+let axiom_sentence = function
+  | Tbox.Sub (c, d) -> (
+      let body =
+        match (concept_formula c "x", concept_formula d "x") with
+        (* C ⊑ ⊥ is ¬C*(x), keeping subformulas open *)
+        | cf, F.False -> F.neg cf
+        | cf, df -> F.implies cf df
+      in
+      match body with
+      | F.True -> None
+      | _ ->
+          Some
+            (F.Forall
+               ( [ "x" ],
+                 F.Implies (F.Eq (T.Var "x", T.Var "x"), body) )))
+  | Tbox.RoleSub (r, s) ->
+      (* ∀x (x = x → ∀y (r(x,y) → s(x,y))): depth 1, equality-guarded
+         outermost quantifier, as in Lemma 7. *)
+      Some
+        (F.Forall
+           ( [ "x" ],
+             F.Implies
+               ( F.Eq (T.Var "x", T.Var "x"),
+                 F.Forall
+                   ( [ "y" ],
+                     F.Implies (role_atom r "x" "y", role_atom s "x" "y") ) )
+           ))
+  | Tbox.Func _ -> None
+
+(* Inverse functionality as an explicit FO axiom
+   ∀x y1 y2 (R(y1,x) ∧ R(y2,x) → y1 = y2). *)
+let inverse_functionality_axiom r =
+  F.Forall
+    ( [ "x"; "y1"; "y2" ],
+      F.Implies
+        ( F.And
+            ( F.atom r [ T.Var "y1"; T.Var "x" ],
+              F.atom r [ T.Var "y2"; T.Var "x" ] ),
+          F.Eq (T.Var "y1", T.Var "y2") ) )
+
+let tbox (t : Tbox.t) =
+  let sentences = List.filter_map axiom_sentence t in
+  let functional =
+    List.filter_map
+      (function Tbox.Func (Concept.Name r) -> Some r | _ -> None)
+      t
+  in
+  let inverse_func =
+    List.filter_map
+      (function
+        | Tbox.Func (Concept.Inv r) -> Some (inverse_functionality_axiom r)
+        | _ -> None)
+      t
+  in
+  Logic.Ontology.make ~functional (sentences @ inverse_func)

@@ -1,0 +1,1 @@
+lib/gf/fragment.ml: Fmt List Logic Printf String Syntax

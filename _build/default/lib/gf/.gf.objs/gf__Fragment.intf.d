@@ -1,0 +1,1 @@
+lib/gf/fragment.mli: Fmt Logic

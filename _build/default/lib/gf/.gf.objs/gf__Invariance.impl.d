@@ -1,0 +1,1 @@
+lib/gf/invariance.ml: Bool Logic Option Random Structure

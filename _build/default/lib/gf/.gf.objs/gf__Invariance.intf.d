@@ -1,0 +1,1 @@
+lib/gf/invariance.mli: Logic Structure

@@ -1,0 +1,1 @@
+lib/gf/scott.mli: Logic

@@ -1,0 +1,1 @@
+lib/gf/syntax.ml: Fmt List Logic String

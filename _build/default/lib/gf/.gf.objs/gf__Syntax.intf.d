@@ -1,0 +1,1 @@
+lib/gf/syntax.mli: Logic

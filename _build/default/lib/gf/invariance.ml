@@ -1,0 +1,47 @@
+(* Empirical testing of invariance under disjoint unions (Theorem 1):
+   a sentence φ is invariant iff for all families of interpretations,
+   φ holds in every member iff it holds in their disjoint union. We test
+   the binary case on random small interpretations. *)
+
+type counterexample = {
+  left : Structure.Instance.t;
+  right : Structure.Instance.t;
+  holds_left : bool;
+  holds_right : bool;
+  holds_union : bool;
+}
+
+let check_pair sentence a b =
+  let holds_left = Structure.Modelcheck.holds a sentence in
+  let holds_right = Structure.Modelcheck.holds b sentence in
+  let union = Structure.Instance.disjoint_union a b in
+  let holds_union = Structure.Modelcheck.holds union sentence in
+  if Bool.equal (holds_left && holds_right) holds_union then None
+  else Some { left = a; right = b; holds_left; holds_right; holds_union }
+
+(* [find_counterexample ~seed ~samples ~size sentence] searches random
+   pairs of interpretations for a violation of disjoint-union invariance.
+   [None] means no violation was found (the sentence may still fail on
+   larger structures). *)
+let find_counterexample ?(seed = 7) ?(samples = 200) ?(size = 3) ?(p = 0.35)
+    sentence =
+  let signature = Logic.Signature.of_formula sentence in
+  let signature =
+    if Logic.Names.SMap.is_empty signature then
+      Logic.Signature.of_list [ ("U", 1) ]
+    else signature
+  in
+  let rng = Random.State.make [| seed |] in
+  let rec go i =
+    if i >= samples then None
+    else
+      let a = Structure.Randgen.instance ~rng ~signature ~size ~p in
+      let b = Structure.Randgen.instance ~rng ~signature ~size ~p in
+      match check_pair sentence a b with
+      | Some cex -> Some cex
+      | None -> go (i + 1)
+  in
+  go 0
+
+let appears_invariant ?seed ?samples ?size ?p sentence =
+  Option.is_none (find_counterexample ?seed ?samples ?size ?p sentence)

@@ -1,0 +1,126 @@
+module F = Logic.Formula
+module SSet = Logic.Names.SSet
+
+(* Structural quantifier depth: counts guarded and counting quantifiers;
+   guards are atomic, so descending through them is harmless. *)
+let rec qdepth = function
+  | F.True | F.False | F.Atom _ | F.Eq _ -> 0
+  | F.Not f -> qdepth f
+  | F.And (a, b) | F.Or (a, b) | F.Implies (a, b) ->
+      max (qdepth a) (qdepth b)
+  | F.Forall (_, f) | F.Exists (_, f) | F.CountGeq (_, _, f) -> 1 + qdepth f
+
+let is_quantifier = function
+  | F.Forall _ | F.Exists _ | F.CountGeq _ -> true
+  | _ -> false
+
+(* Variables of an atomic guard, in order of first occurrence. *)
+let guard_var_list g =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let push = function
+    | Logic.Term.Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.replace seen v ();
+          out := v :: !out
+        end
+    | Logic.Term.Const _ -> ()
+  in
+  (match g with
+  | F.Atom (_, ts) -> List.iter push ts
+  | F.Eq (s, t) ->
+      push s;
+      push t
+  | _ -> invalid_arg "guard_var_list: not a guard");
+  List.rev !out
+
+(* Replace every top-level quantified subformula rho of [psi] by a fresh
+   atom P(fv rho), returning the rewritten formula and the definitional
+   sentences ∀ vars(guard) (guard → (P ↔ rho)). *)
+let rec abstract_tops guard psi =
+  match psi with
+  | f when is_quantifier f ->
+      let fv = SSet.elements (F.free_vars f) in
+      let p = Logic.Names.gensym "Sc" in
+      let p_atom = F.Atom (p, List.map (fun v -> Logic.Term.Var v) fv) in
+      let def =
+        F.Forall
+          ( guard_var_list guard,
+            F.Implies
+              (guard, F.And (F.Implies (p_atom, f), F.Implies (f, p_atom))) )
+      in
+      (p_atom, [ def ])
+  | F.Not f ->
+      let f', d = abstract_tops guard f in
+      (F.Not f', d)
+  | F.And (a, b) ->
+      let a', da = abstract_tops guard a in
+      let b', db = abstract_tops guard b in
+      (F.And (a', b'), da @ db)
+  | F.Or (a, b) ->
+      let a', da = abstract_tops guard a in
+      let b', db = abstract_tops guard b in
+      (F.Or (a', b'), da @ db)
+  | F.Implies (a, b) ->
+      let a', da = abstract_tops guard a in
+      let b', db = abstract_tops guard b in
+      (F.Implies (a', b'), da @ db)
+  | f -> (f, [])
+
+(* Rewrite a body so that its quantifier depth is at most 1, collecting
+   definitional sentences (which may themselves have larger depth and are
+   reduced recursively by [reduce_ontology]). *)
+let rec flatten_body body =
+  match body with
+  | F.Forall (vs, F.Implies (g, b)) when qdepth b >= 1 ->
+      let b', defs = abstract_tops g b in
+      (F.Forall (vs, F.Implies (g, b')), defs)
+  | F.Exists (vs, F.And (g, b)) when qdepth b >= 1 ->
+      let b', defs = abstract_tops g b in
+      (F.Exists (vs, F.And (g, b')), defs)
+  | F.CountGeq (n, v, F.And (g, b)) when qdepth b >= 1 ->
+      let b', defs = abstract_tops g b in
+      (F.CountGeq (n, v, F.And (g, b')), defs)
+  | F.Not f ->
+      let f', d = flatten_body f in
+      (F.Not f', d)
+  | F.And (a, b) ->
+      let a', da = flatten_body a in
+      let b', db = flatten_body b in
+      (F.And (a', b'), da @ db)
+  | F.Or (a, b) ->
+      let a', da = flatten_body a in
+      let b', db = flatten_body b in
+      (F.Or (a', b'), da @ db)
+  | F.Implies (a, b) ->
+      let a', da = flatten_body a in
+      let b', db = flatten_body b in
+      (F.Implies (a', b'), da @ db)
+  | f -> (f, [])
+
+(* Reduce one uGF/uGC2 sentence ∀ȳ(α → φ) to depth ≤ 1, producing
+   residual definitional sentences. *)
+let reduce_sentence f =
+  match f with
+  | F.Forall (vs, F.Implies (g, body)) when qdepth body >= 2 ->
+      let body', defs = flatten_body body in
+      (F.Forall (vs, F.Implies (g, body')), defs)
+  | F.Forall (vs, body) when qdepth body >= 2 && not (is_quantifier body) ->
+      let body', defs = flatten_body body in
+      (F.Forall (vs, body'), defs)
+  | f -> (f, [])
+
+(* Scott-style depth reduction: a conservative extension of the ontology
+   in which every sentence has depth ≤ 1 (cf. the remark after Example 2:
+   satisfiability and CQ-evaluation for full GF reduce to uGF(1)). *)
+let reduce_ontology (o : Logic.Ontology.t) =
+  let rec work acc = function
+    | [] -> List.rev acc
+    | f :: rest ->
+        let f', defs = reduce_sentence f in
+        if defs = [] && F.equal f f' then work (f :: acc) rest
+        else work (f' :: acc) (defs @ rest)
+  in
+  Logic.Ontology.make
+    ~functional:(Logic.Ontology.functional o)
+    (work [] (Logic.Ontology.sentences o))

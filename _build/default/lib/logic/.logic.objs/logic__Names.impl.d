@@ -1,0 +1,1 @@
+lib/logic/names.ml: Map Printf Set String

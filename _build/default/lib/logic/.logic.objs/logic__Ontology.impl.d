@@ -1,0 +1,1 @@
+lib/logic/ontology.ml: Fmt Formula List Signature String Term

@@ -1,0 +1,1 @@
+lib/logic/ontology.mli: Fmt Formula Signature

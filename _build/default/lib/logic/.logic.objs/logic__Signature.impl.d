@@ -1,0 +1,1 @@
+lib/logic/signature.ml: Fmt Formula List Names

@@ -1,0 +1,22 @@
+(** String-keyed collections shared across the code base. *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+(** [fresh ~avoid base] returns a name based on [base] that does not occur
+    in [avoid]. *)
+let fresh ~avoid base =
+  if not (SSet.mem base avoid) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if SSet.mem candidate avoid then go (i + 1) else candidate
+    in
+    go 0
+
+(** A stateful generator of globally fresh names with a given prefix. *)
+let counter = ref 0
+
+let gensym prefix =
+  incr counter;
+  Printf.sprintf "%s#%d" prefix !counter

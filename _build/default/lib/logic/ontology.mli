@@ -1,0 +1,26 @@
+(** Ontologies: finite sets of FO sentences, plus optional declarations
+    that some binary relations are partial functions (the (f) feature of
+    uGF2(f), Section 2.1). *)
+
+type t = {
+  sentences : Formula.t list;
+  functional : string list;
+}
+
+val make : ?functional:string list -> Formula.t list -> t
+val sentences : t -> Formula.t list
+val functional : t -> string list
+
+(** The FO axiom ∀x y1 y2 (R(x,y1) ∧ R(x,y2) → y1 = y2). *)
+val functionality_axiom : string -> Formula.t
+
+(** Sentences with functionality declarations expanded to FO axioms. *)
+val all_sentences : t -> Formula.t list
+
+val signature : t -> Signature.t
+val union : t -> t -> t
+
+(** |O|: total symbol count. *)
+val size : t -> int
+
+val pp : t Fmt.t

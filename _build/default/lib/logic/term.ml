@@ -1,0 +1,23 @@
+type t =
+  | Var of string
+  | Const of string
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let var_name = function
+  | Var v -> Some v
+  | Const _ -> None
+
+let pp ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Fmt.pf ppf "'%s'" c
+
+let to_string t = Fmt.str "%a" pp t
+
+let vars ts =
+  List.fold_left
+    (fun acc t -> match t with Var v -> Names.SSet.add v acc | Const _ -> acc)
+    Names.SSet.empty ts

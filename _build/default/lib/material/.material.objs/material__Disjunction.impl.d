@@ -1,0 +1,1 @@
+lib/material/disjunction.ml: Fmt List Logic Query Reasoner Structure

@@ -1,0 +1,1 @@
+lib/material/disjunction.mli: Fmt Logic Query Structure

@@ -1,0 +1,1 @@
+lib/material/materializability.ml: Bool List Logic Option Query Reasoner Structure

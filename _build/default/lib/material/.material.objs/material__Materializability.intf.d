@@ -1,0 +1,1 @@
+lib/material/materializability.mli: Logic Query Structure

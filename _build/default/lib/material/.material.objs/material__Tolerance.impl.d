@@ -1,0 +1,1 @@
+lib/material/tolerance.ml: Bool List Query Reasoner Structure

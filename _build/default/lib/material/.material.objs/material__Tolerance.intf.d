@@ -1,0 +1,1 @@
+lib/material/tolerance.mli: Logic Query Structure

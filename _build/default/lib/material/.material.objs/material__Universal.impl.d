@@ -1,0 +1,1 @@
+lib/material/universal.ml: List Option Reasoner Structure

@@ -1,0 +1,1 @@
+lib/material/universal.mli: Logic Structure

@@ -1,0 +1,84 @@
+(* The disjunction property (Theorem 17): O has the Q-disjunction
+   property iff whenever O,D |= q1(ā1) ∨ … ∨ qn(ān), some disjunct is
+   already certain. Failure witnesses non-materializability. *)
+
+type pointed = Query.Cq.t * Structure.Element.t list
+
+type witness = {
+  instance : Structure.Instance.t;
+  pointed : pointed list;
+}
+
+let pp_witness ppf w =
+  Fmt.pf ppf "@[<v>instance %a@ entails the disjunction of:@ %a@]"
+    Structure.Instance.pp w.instance
+    Fmt.(
+      list ~sep:cut (fun ppf (q, t) ->
+          Fmt.pf ppf "  %a @@ (%a)" Query.Cq.pp q
+            (list ~sep:comma Structure.Element.pp)
+            t))
+    w.pointed
+
+(* Check one candidate disjunction: [`Fails w] means the disjunction is
+   certain but no disjunct is — the disjunction property fails. *)
+let check ?(max_extra = 2) o d pointed =
+  if not (Reasoner.Bounded.certain_disjunction ~max_extra o d pointed) then
+    `Disjunction_not_certain
+  else
+    match
+      List.find_opt
+        (fun (q, t) -> Reasoner.Bounded.certain_cq ~max_extra o d q t)
+        pointed
+    with
+    | Some _ -> `Holds
+    | None -> `Fails { instance = d; pointed }
+
+(* Search a list of candidate (instance, disjunction) pairs for a
+   violation. *)
+let find_violation ?max_extra o candidates =
+  List.find_map
+    (fun (d, pointed) ->
+      if not (Reasoner.Bounded.is_consistent ?max_extra o d) then None
+      else
+        match check ?max_extra o d pointed with
+        | `Fails w -> Some w
+        | `Holds | `Disjunction_not_certain -> None)
+    candidates
+
+(* Default candidate disjunctions over an instance: for every element,
+   the unary atoms of the ontology's signature, pairwise. *)
+let default_candidates o d =
+  let unary =
+    List.filter_map
+      (fun (r, a) -> if a = 1 then Some r else None)
+      (Logic.Signature.to_list (Logic.Ontology.signature o))
+  in
+  let atoms_for e =
+    List.map (fun r -> (Query.Raq.unary ~name:("q_" ^ r) r, [ e ])) unary
+  in
+  let elements = Structure.Instance.domain_list d in
+  (* pairwise disjunctions per element, plus per-relation disjunctions
+     across all elements *)
+  let per_element =
+    List.concat_map
+      (fun e ->
+        let atoms = atoms_for e in
+        List.concat_map
+          (fun (q1, t1) ->
+            List.filter_map
+              (fun (q2, t2) ->
+                if Query.Cq.compare q1 q2 < 0 then
+                  Some (d, [ (q1, t1); (q2, t2) ])
+                else None)
+              atoms)
+          atoms)
+      elements
+  in
+  let across =
+    List.map
+      (fun r ->
+        let q = Query.Raq.unary ~name:("q_" ^ r) r in
+        (d, List.map (fun e -> (q, [ e ])) elements))
+      unary
+  in
+  per_element @ across

@@ -1,0 +1,34 @@
+(** The disjunction property (Theorem 17): an ontology is materializable
+    iff whenever a disjunction of pointed CQs is certain, some disjunct
+    already is. A failure is a witness of non-materializability. *)
+
+type pointed = Query.Cq.t * Structure.Element.t list
+
+type witness = {
+  instance : Structure.Instance.t;
+  pointed : pointed list;
+}
+
+val pp_witness : witness Fmt.t
+
+(** Check one candidate disjunction on an instance. *)
+val check :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  pointed list ->
+  [ `Holds | `Fails of witness | `Disjunction_not_certain ]
+
+(** First violation among candidate (instance, disjunction) pairs;
+    inconsistent instances are skipped. *)
+val find_violation :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  (Structure.Instance.t * pointed list) list ->
+  witness option
+
+(** Pairwise unary-atom disjunctions over the elements of [d]. *)
+val default_candidates :
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  (Structure.Instance.t * pointed list) list

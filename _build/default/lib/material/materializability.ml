@@ -1,0 +1,102 @@
+(* Bounded materializability testing (Definition 2): search for a model
+   B of O and D whose answers to a pool of pointed queries coincide with
+   the certain answers. Completeness is relative to the domain bound and
+   the query pool; the pools below cover the paper's examples. *)
+
+type pointed = Query.Cq.t * Structure.Element.t list
+
+(* A default pool: atomic unary and binary queries plus one-step
+   existential neighbourhood queries over the ontology's signature,
+   pointed at all (pairs of) elements of D. *)
+let default_pool o d =
+  let sig_ = Logic.Ontology.signature o in
+  let elements = Structure.Instance.domain_list d in
+  let unary =
+    List.filter_map (fun (r, a) -> if a = 1 then Some r else None)
+      (Logic.Signature.to_list sig_)
+  and binary =
+    List.filter_map (fun (r, a) -> if a = 2 then Some r else None)
+      (Logic.Signature.to_list sig_)
+  in
+  let unary_queries =
+    List.concat_map
+      (fun r ->
+        let q = Query.Raq.unary ~name:("q_" ^ r) r in
+        List.map (fun e -> (q, [ e ])) elements)
+      unary
+  in
+  let binary_queries =
+    List.concat_map
+      (fun r ->
+        let q = Query.Raq.atom_query ~name:("q_" ^ r) r 2 in
+        List.concat_map
+          (fun e1 -> List.map (fun e2 -> (q, [ e1; e2 ])) elements)
+          elements)
+      binary
+  in
+  let exists_queries =
+    List.concat_map
+      (fun r ->
+        let plain =
+          Query.Cq.make ~name:("qe_" ^ r) ~answer:[ "x" ]
+            [ (r, [ Logic.Term.Var "x"; Logic.Term.Var "y" ]) ]
+        in
+        let with_a =
+          List.map
+            (fun a ->
+              Query.Cq.make
+                ~name:("qe_" ^ r ^ "_" ^ a)
+                ~answer:[ "x" ]
+                [
+                  (r, [ Logic.Term.Var "x"; Logic.Term.Var "y" ]);
+                  (a, [ Logic.Term.Var "y" ]);
+                ])
+            unary
+        in
+        List.concat_map
+          (fun q -> List.map (fun e -> (q, [ e ])) elements)
+          (plain :: with_a))
+      binary
+  in
+  unary_queries @ binary_queries @ exists_queries
+
+(* The certain answers of the pool, computed once. *)
+let pool_certainty ?(max_extra = 2) o d pool =
+  List.map
+    (fun (q, tuple) ->
+      (q, tuple, Reasoner.Bounded.certain_cq ~max_extra o d q tuple))
+    pool
+
+let answers_like_certainty certainty b =
+  List.for_all
+    (fun (q, tuple, certain) -> Bool.equal (Query.Cq.holds b q tuple) certain)
+    certainty
+
+(* Does B answer the pool exactly like the certain answers? *)
+let is_materialization_for ?max_extra o d pool b =
+  Structure.Instance.subset d b
+  && Structure.Modelcheck.is_model b (Logic.Ontology.all_sentences o)
+  && answers_like_certainty (pool_certainty ?max_extra o d pool) b
+
+(* Search for a materialization over the bounded domain. The certain
+   answers of the pool are computed once; then a single SAT problem per
+   domain size asks for a model of O and D that satisfies exactly the
+   certain pool queries (certain ⇒ assert q, non-certain ⇒ assert ¬q). *)
+let find_materialization ?(extra = 2) ?(max_extra = 2) ?limit ?pool o d =
+  ignore limit;
+  let pool = match pool with Some p -> p | None -> default_pool o d in
+  let certainty = pool_certainty ~max_extra o d pool in
+  let rec over_extras k =
+    if k > extra then None
+    else
+      match Reasoner.Bounded.pool_exact_model ~extra:k o d certainty with
+      | Some b -> Some b
+      | None -> over_extras (k + 1)
+  in
+  over_extras 0
+
+(* Materializable for an instance: consistent implies a materialization
+   exists (within the bounds). *)
+let materializable_on ?extra ?max_extra ?limit ?pool o d =
+  (not (Reasoner.Bounded.is_consistent ?max_extra o d))
+  || Option.is_some (find_materialization ?extra ?max_extra ?limit ?pool o d)

@@ -1,0 +1,40 @@
+(** Bounded materializability testing (Definition 2): search for a model
+    of O and D whose answers to a pool of pointed queries coincide with
+    the certain answers. Bounds: extra domain elements, countermodel
+    budget, model enumeration limit, and the query pool. *)
+
+type pointed = Query.Cq.t * Structure.Element.t list
+
+(** Atomic and one-step existential queries over sig(O), pointed at the
+    elements of [d]. *)
+val default_pool :
+  Logic.Ontology.t -> Structure.Instance.t -> pointed list
+
+(** Is [b] a materialization of O and [d] w.r.t. the pool? *)
+val is_materialization_for :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  pointed list ->
+  Structure.Instance.t ->
+  bool
+
+(** Search the bounded models for a materialization. *)
+val find_materialization :
+  ?extra:int ->
+  ?max_extra:int ->
+  ?limit:int ->
+  ?pool:pointed list ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Structure.Instance.t option
+
+(** Inconsistent instances count as trivially materializable. *)
+val materializable_on :
+  ?extra:int ->
+  ?max_extra:int ->
+  ?limit:int ->
+  ?pool:pointed list ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  bool

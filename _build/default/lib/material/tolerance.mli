@@ -1,0 +1,35 @@
+(** Empirical unravelling tolerance (Definition 3), on depth-bounded
+    prefixes of the uGF/uGC2 unravellings. *)
+
+type violation = {
+  on_d : bool;
+  on_du : bool;
+  depth : int;
+}
+
+type verdict =
+  | Tolerant_on
+  | Violation of violation
+
+(** Compare O,D ⊨ q(ā) with O,D{^u} ⊨ q(b̄) at the copy b̄ of ā in the
+    root bag of a maximal guarded set containing ā.
+    @raise Invalid_argument when ā is not inside any guarded set. *)
+val check :
+  ?variant:Structure.Unravel.variant ->
+  ?depth:int ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Cq.t ->
+  Structure.Element.t list ->
+  verdict
+
+(** Violations over all elements, for a unary query. *)
+val check_unary :
+  ?variant:Structure.Unravel.variant ->
+  ?depth:int ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Cq.t ->
+  (Structure.Element.t * violation) list

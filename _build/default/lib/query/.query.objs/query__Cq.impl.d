@@ -1,0 +1,1 @@
+lib/query/cq.ml: Fmt Hashtbl List Logic Printf Stdlib Structure

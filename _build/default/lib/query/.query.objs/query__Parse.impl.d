@@ -1,0 +1,1 @@
+lib/query/parse.ml: Cq Fmt List Logic String Ucq

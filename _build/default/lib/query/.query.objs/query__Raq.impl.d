@@ -1,0 +1,1 @@
+lib/query/raq.ml: Cq List Logic Printf Structure

@@ -1,0 +1,1 @@
+lib/query/raq.mli: Cq Structure

@@ -1,0 +1,1 @@
+lib/query/ucq.mli: Cq Fmt Logic Structure

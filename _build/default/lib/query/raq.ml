@@ -1,0 +1,42 @@
+(* Helpers for building rooted acyclic queries (rAQs) and other common
+   query shapes used throughout the experiments. *)
+
+module ESet = Structure.Element.Set
+
+let var_of_element e =
+  match e with
+  | Structure.Element.Const c -> "v_" ^ c
+  | Structure.Element.Null n -> Printf.sprintf "v_n%d" n
+
+(* View an instance as a CQ whose variables are its elements, with the
+   given answer elements. Returns [None] when the result would not be an
+   rAQ. *)
+let of_instance ?(name = "q") inst ~answer =
+  let atoms =
+    List.map
+      (fun (f : Structure.Instance.fact) ->
+        (f.rel, List.map (fun e -> Logic.Term.Var (var_of_element e)) f.args))
+      (Structure.Instance.facts inst)
+  in
+  let q = Cq.make ~name ~answer:(List.map var_of_element answer) atoms in
+  if Cq.is_raq q then Some q else None
+
+(* q(x1,…,xk) ← R(x1,…,xk): always an rAQ. *)
+let atom_query ?(name = "q") rel arity =
+  let vars = List.init arity (fun i -> Printf.sprintf "x%d" i) in
+  Cq.make ~name ~answer:vars [ (rel, List.map (fun v -> Logic.Term.Var v) vars) ]
+
+(* q(x) ← A(x). *)
+let unary ?(name = "q") rel = atom_query ~name rel 1
+
+(* q(x) ← R(x,y1), …, chained path of length n ending in A if given. *)
+let path_query ?(name = "q") rel n ~ending =
+  let var i = Printf.sprintf "x%d" i in
+  let edge i = (rel, [ Logic.Term.Var (var i); Logic.Term.Var (var (i + 1)) ]) in
+  let atoms = List.init n edge in
+  let atoms =
+    match ending with
+    | Some a -> atoms @ [ (a, [ Logic.Term.Var (var n) ]) ]
+    | None -> atoms
+  in
+  Cq.make ~name ~answer:[ var 0 ] atoms

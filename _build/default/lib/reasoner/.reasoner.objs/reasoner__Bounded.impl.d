@@ -1,0 +1,1 @@
+lib/reasoner/bounded.ml: Ground List Logic Option Query Structure

@@ -1,0 +1,1 @@
+lib/reasoner/bounded.mli: Logic Query Structure

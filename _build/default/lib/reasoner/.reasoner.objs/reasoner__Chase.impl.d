@@ -1,0 +1,1 @@
+lib/reasoner/chase.ml: Fmt List Logic Query Structure

@@ -1,0 +1,1 @@
+lib/reasoner/chase.mli: Query Structure

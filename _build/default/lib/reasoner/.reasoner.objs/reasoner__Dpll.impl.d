@@ -1,0 +1,1 @@
+lib/reasoner/dpll.ml: Array List

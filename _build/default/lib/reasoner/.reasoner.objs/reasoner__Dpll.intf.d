@@ -1,0 +1,1 @@
+lib/reasoner/dpll.mli:

@@ -1,0 +1,1 @@
+lib/reasoner/ground.ml: Array Dpll Fmt Hashtbl List Logic Structure

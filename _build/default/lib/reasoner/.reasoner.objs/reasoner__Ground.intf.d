@@ -1,0 +1,1 @@
+lib/reasoner/ground.mli: Logic Structure

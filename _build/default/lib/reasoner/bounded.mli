@@ -1,0 +1,79 @@
+(** Bounded model finding and certain answers for arbitrary FO(=,
+    counting) ontologies.
+
+    Countermodels are searched over domains dom(D) ∪ {k fresh nulls}.
+    Refutations are exact (any countermodel refutes); confirmations are
+    "entailed up to the bound". GF and GC2 enjoy the finite model
+    property, so iterative deepening converges; experiments record the
+    bound they use. *)
+
+(** A model of O and D over dom(D) + [extra] nulls, if any. *)
+val find_model :
+  ?extra:int -> Logic.Ontology.t -> Structure.Instance.t -> Structure.Instance.t option
+
+(** Consistency of D w.r.t. O, trying 0..[max_extra] extra elements. *)
+val is_consistent :
+  ?max_extra:int -> Logic.Ontology.t -> Structure.Instance.t -> bool
+
+(** All models over the bounded domain (distinct fact sets). *)
+val models :
+  ?extra:int ->
+  ?limit:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Structure.Instance.t list
+
+(** A countermodel to O,D ⊨ q(ā) with exactly [extra] fresh nulls. *)
+val countermodel :
+  ?extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  Structure.Instance.t option
+
+(** O,D ⊨ q(ā): no countermodel with 0..[max_extra] extra elements. *)
+val certain_ucq :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  bool
+
+val certain_cq :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Cq.t ->
+  Structure.Element.t list ->
+  bool
+
+(** Certain truth of an FO(=, counting) formula under an assignment
+    [env]: no bounded model of O and D refutes it. *)
+val certain_formula :
+  ?max_extra:int ->
+  ?env:Structure.Element.t Logic.Names.SMap.t ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Logic.Formula.t ->
+  bool
+
+(** A model of O and D over dom(D)+[extra] nulls satisfying exactly the
+    flagged pointed queries ((q, ā, wanted) triples). Backs the
+    materializability search. *)
+val pool_exact_model :
+  ?extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  (Query.Cq.t * Structure.Element.t list * bool) list ->
+  Structure.Instance.t option
+
+(** O,D ⊨ q1(ā1) ∨ … ∨ qn(ān) for pointed CQs (disjunction property,
+    Theorem 17). *)
+val certain_disjunction :
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  (Query.Cq.t * Structure.Element.t list) list ->
+  bool

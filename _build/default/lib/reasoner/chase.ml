@@ -1,0 +1,168 @@
+module SMap = Logic.Names.SMap
+module EMap = Structure.Element.Map
+
+(* The restricted chase for existential rules (TGDs) and equality
+   generating dependencies (EGDs). Complete for certain answers w.r.t.
+   Horn ontologies: the chase result is a universal model. *)
+
+type rule = {
+  name : string;
+  body : Query.Cq.atom list;
+  head : Query.Cq.atom list;  (** head-only variables are existential *)
+}
+
+type egd = {
+  ename : string;
+  ebody : Query.Cq.atom list;
+  left : string;
+  right : string;
+}
+
+let rule ?(name = "r") ~body ~head () = { name; body; head }
+let egd ?(name = "e") ~body ~left ~right () = { ename = name; ebody = body; left; right }
+
+let atom_vars atoms =
+  List.fold_left
+    (fun acc (_, ts) -> Logic.Names.SSet.union acc (Logic.Term.vars ts))
+    Logic.Names.SSet.empty atoms
+
+let body_query atoms =
+  Query.Cq.make ~name:"body" ~answer:[] atoms
+
+(* All homomorphisms from the body into [inst], as variable bindings. *)
+let body_matches atoms inst =
+  let q = body_query atoms in
+  let db = Query.Cq.canonical_db q in
+  Structure.Homomorphism.fold ~source:db ~target:inst
+    (fun m acc ->
+      let bind =
+        Logic.Names.SSet.fold
+          (fun v b -> SMap.add v (EMap.find (Query.Cq.var_element v) m) b)
+          (atom_vars atoms) SMap.empty
+      in
+      (false, bind :: acc))
+    []
+
+let instantiate_atom bind (r, ts) =
+  Structure.Instance.fact r
+    (List.map
+       (fun t ->
+         match t with
+         | Logic.Term.Const c -> Structure.Element.Const c
+         | Logic.Term.Var v -> SMap.find v bind)
+       ts)
+
+(* Does the binding extend to the head inside [inst]? (restricted chase) *)
+let head_satisfied rule bind inst =
+  let head_vars = atom_vars rule.head in
+  let frontier = atom_vars rule.body in
+  let existential =
+    Logic.Names.SSet.diff head_vars frontier |> Logic.Names.SSet.elements
+  in
+  let q =
+    Query.Cq.make ~name:"head"
+      ~answer:
+        (Logic.Names.SSet.elements (Logic.Names.SSet.inter head_vars frontier))
+      rule.head
+  in
+  ignore existential;
+  let tuple = List.map (fun v -> SMap.find v bind) q.Query.Cq.answer in
+  Query.Cq.holds inst q tuple
+
+exception Egd_failure of string
+
+type result = {
+  instance : Structure.Instance.t;
+  saturated : bool;  (** fixpoint reached within the round budget *)
+}
+
+let apply_rule inst rule =
+  let changed = ref false in
+  let out = ref inst in
+  List.iter
+    (fun bind ->
+      if not (head_satisfied rule bind !out) then begin
+        (* Extend the binding with fresh nulls for existential variables. *)
+        let head_vars = atom_vars rule.head in
+        let frontier = atom_vars rule.body in
+        let existential =
+          Logic.Names.SSet.elements (Logic.Names.SSet.diff head_vars frontier)
+        in
+        let nulls =
+          Structure.Instance.fresh_nulls (List.length existential) !out
+        in
+        let bind =
+          List.fold_left2
+            (fun b v n -> SMap.add v n b)
+            bind existential nulls
+        in
+        List.iter
+          (fun atom ->
+            out := Structure.Instance.add_fact (instantiate_atom bind atom) !out)
+          rule.head;
+        changed := true
+      end)
+    (body_matches rule.body inst);
+  (!out, !changed)
+
+let apply_egd inst e =
+  let changed = ref false in
+  let out = ref inst in
+  List.iter
+    (fun bind ->
+      let a = SMap.find e.left bind and b = SMap.find e.right bind in
+      if not (Structure.Element.equal a b) then
+        match (a, b) with
+        | Structure.Element.Const _, Structure.Element.Const _ ->
+            raise
+              (Egd_failure
+                 (Fmt.str "EGD %s equates distinct constants %a and %a"
+                    e.ename Structure.Element.pp a Structure.Element.pp b))
+        | Structure.Element.Null _, _ ->
+            out :=
+              Structure.Instance.map_elements
+                (fun x -> if Structure.Element.equal x a then b else x)
+                !out;
+            changed := true
+        | _, Structure.Element.Null _ ->
+            out :=
+              Structure.Instance.map_elements
+                (fun x -> if Structure.Element.equal x b then a else x)
+                !out;
+            changed := true)
+    (body_matches e.ebody inst);
+  (!out, !changed)
+
+(* Run the restricted chase for at most [max_rounds] rounds. Raises
+   [Egd_failure] when an EGD equates distinct constants (inconsistent). *)
+let run ?(max_rounds = 50) ?(egds = []) rules inst =
+  let rec go inst round =
+    if round >= max_rounds then { instance = inst; saturated = false }
+    else begin
+      let inst', changed =
+        List.fold_left
+          (fun (i, ch) r ->
+            let i', ch' = apply_rule i r in
+            (i', ch || ch'))
+          (inst, false) rules
+      in
+      let inst'', changed' =
+        List.fold_left
+          (fun (i, ch) e ->
+            let i', ch' = apply_egd i e in
+            (i', ch || ch'))
+          (inst', changed) egds
+      in
+      if changed' then go inst'' (round + 1)
+      else { instance = inst''; saturated = true }
+    end
+  in
+  go inst 0
+
+(* Certain answers over the chase result: for Horn rule sets the chase
+   is a universal model, so CQ answers over it (restricted to tuples of
+   original constants) are exactly the certain answers. *)
+let certain_cq ?max_rounds ?egds rules inst q tuple =
+  match run ?max_rounds ?egds rules inst with
+  | { instance = chased; _ } -> Query.Cq.holds chased q tuple
+  | exception Egd_failure _ -> true

@@ -1,0 +1,49 @@
+(** The restricted chase for existential rules (TGDs) and equality
+    generating dependencies. For Horn ontologies the chase result is a
+    universal model, hence computes certain answers exactly. *)
+
+type rule = {
+  name : string;
+  body : Query.Cq.atom list;
+  head : Query.Cq.atom list;
+}
+
+type egd = {
+  ename : string;
+  ebody : Query.Cq.atom list;
+  left : string;
+  right : string;
+}
+
+val rule : ?name:string -> body:Query.Cq.atom list -> head:Query.Cq.atom list -> unit -> rule
+
+val egd :
+  ?name:string ->
+  body:Query.Cq.atom list ->
+  left:string ->
+  right:string ->
+  unit ->
+  egd
+
+exception Egd_failure of string
+
+type result = {
+  instance : Structure.Instance.t;
+  saturated : bool;
+}
+
+(** Run the restricted chase for at most [max_rounds] rounds.
+    @raise Egd_failure when an EGD equates distinct constants. *)
+val run :
+  ?max_rounds:int -> ?egds:egd list -> rule list -> Structure.Instance.t -> result
+
+(** Certain answer over the chase result; inconsistent instances entail
+    everything. *)
+val certain_cq :
+  ?max_rounds:int ->
+  ?egds:egd list ->
+  rule list ->
+  Structure.Instance.t ->
+  Query.Cq.t ->
+  Structure.Element.t list ->
+  bool

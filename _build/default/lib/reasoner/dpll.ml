@@ -1,0 +1,353 @@
+(* A CDCL SAT solver: two-watched-literal propagation, 1-UIP conflict
+   analysis with non-chronological backjumping, VSIDS branching with
+   phase saving, and geometric restarts. Literals are non-zero integers
+   ±v for 1-based variables. Sized for the ground formulas produced by
+   [Ground]; the interface is shared with the old DPLL (tests compare it
+   against brute force). *)
+
+type result =
+  | Sat of bool array  (** index v-1 holds the value of variable v *)
+  | Unsat
+
+type solver = {
+  nvars : int;
+  mutable clauses : int array array;  (* original + learned *)
+  mutable nclauses : int;
+  mutable watches : int list array;  (* literal index -> clause indices *)
+  assign : int array;  (* 0 / 1 / -1 *)
+  level : int array;
+  reason : int array;  (* clause index or -1 *)
+  trail : int array;
+  mutable trail_size : int;
+  trail_lim : int array;  (* start of each decision level in trail *)
+  mutable decision_level : int;
+  mutable qhead : int;
+  activity : float array;
+  mutable var_inc : float;
+  phase : bool array;
+  seen : bool array;  (* scratch for conflict analysis *)
+}
+
+let lit_index l = if l > 0 then 2 * (l - 1) else (2 * (-l - 1)) + 1
+let lit_var l = abs l - 1
+
+let value s l =
+  let v = s.assign.(lit_var l) in
+  if v = 0 then 0 else if (l > 0) = (v = 1) then 1 else -1
+
+let create nvars ncap =
+  {
+    nvars;
+    clauses = Array.make (max ncap 16) [||];
+    nclauses = 0;
+    watches = Array.make (max (2 * nvars) 2) [];
+    assign = Array.make (max nvars 1) 0;
+    level = Array.make (max nvars 1) 0;
+    reason = Array.make (max nvars 1) (-1);
+    trail = Array.make (max nvars 1) 0;
+    trail_size = 0;
+    trail_lim = Array.make (max nvars 1) 0;
+    decision_level = 0;
+    qhead = 0;
+    activity = Array.make (max nvars 1) 0.0;
+    var_inc = 1.0;
+    phase = Array.make (max nvars 1) false;
+    seen = Array.make (max nvars 1) false;
+  }
+
+let grow_clauses s =
+  if s.nclauses = Array.length s.clauses then begin
+    let bigger = Array.make (2 * Array.length s.clauses) [||] in
+    Array.blit s.clauses 0 bigger 0 s.nclauses;
+    s.clauses <- bigger
+  end
+
+
+(* Enqueue an implied (or decided) literal. *)
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- (if l > 0 then 1 else -1);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+(* Attach a clause (index ci) to its two watchers. *)
+let attach s ci =
+  let c = s.clauses.(ci) in
+  if Array.length c >= 2 then begin
+    s.watches.(lit_index c.(0)) <- ci :: s.watches.(lit_index c.(0));
+    s.watches.(lit_index c.(1)) <- ci :: s.watches.(lit_index c.(1))
+  end
+
+(* Add a clause; returns false if it is the empty clause. Unit clauses
+   are enqueued at the current level. *)
+let add_clause s lits =
+  match lits with
+  | [||] -> false
+  | [| l |] -> (
+      match value s l with
+      | 1 -> true
+      | -1 -> false
+      | _ ->
+          enqueue s l (-1);
+          true)
+  | _ ->
+      grow_clauses s;
+      s.clauses.(s.nclauses) <- lits;
+      attach s s.nclauses;
+      s.nclauses <- s.nclauses + 1;
+      true
+
+(* Two-watched-literal unit propagation; returns the conflicting clause
+   index, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.qhead < s.trail_size do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let falsified = -l in
+    let wi = lit_index falsified in
+    let watching = s.watches.(wi) in
+    s.watches.(wi) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest ->
+          let c = s.clauses.(ci) in
+          (* normalise so that c.(1) = falsified *)
+          if c.(0) = falsified then begin
+            c.(0) <- c.(1);
+            c.(1) <- falsified
+          end;
+          if value s c.(0) = 1 then begin
+            (* already satisfied: keep watching *)
+            s.watches.(wi) <- ci :: s.watches.(wi);
+            go rest
+          end
+          else begin
+            (* look for a new watch *)
+            let n = Array.length c in
+            let rec find k = if k >= n then -1 else if value s c.(k) <> -1 then k else find (k + 1) in
+            let k = find 2 in
+            if k >= 0 then begin
+              c.(1) <- c.(k);
+              c.(k) <- falsified;
+              s.watches.(lit_index c.(1)) <- ci :: s.watches.(lit_index c.(1));
+              go rest
+            end
+            else begin
+              (* unit or conflicting *)
+              s.watches.(wi) <- ci :: s.watches.(wi);
+              match value s c.(0) with
+              | -1 ->
+                  conflict := ci;
+                  (* keep the remaining watchers *)
+                  List.iter (fun cj -> s.watches.(wi) <- cj :: s.watches.(wi)) rest
+              | 0 ->
+                  enqueue s c.(0) ci;
+                  go rest
+              | _ -> go rest
+            end
+          end
+    in
+    go watching
+  done;
+  !conflict
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 0 to s.nvars - 1 do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* 1-UIP conflict analysis: learned clause + backjump level. *)
+let analyze s conflict_ci =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 (* the asserting literal, set below *) in
+  let idx = ref (s.trail_size - 1) in
+  let reason_lits ci skip =
+    Array.to_list s.clauses.(ci) |> List.filter (fun l -> l <> skip)
+  in
+  let process lits =
+    List.iter
+      (fun l ->
+        let v = lit_var l in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump s v;
+          if s.level.(v) >= s.decision_level then incr counter
+          else learned := l :: !learned
+        end)
+      lits
+  in
+  process (Array.to_list s.clauses.(conflict_ci));
+  let continue = ref true in
+  while !continue do
+    (* find next seen literal on the trail *)
+    while not s.seen.(lit_var s.trail.(!idx)) do
+      decr idx
+    done;
+    let l = s.trail.(!idx) in
+    let v = lit_var l in
+    s.seen.(v) <- false;
+    decr counter;
+    decr idx;
+    if !counter = 0 then begin
+      p := -l;
+      continue := false
+    end
+    else process (reason_lits s.reason.(v) l)
+  done;
+  let lits = !p :: !learned in
+  List.iter (fun l -> s.seen.(lit_var l) <- false) !learned;
+  let backjump =
+    List.fold_left
+      (fun m l -> if l = !p then m else max m (s.level.(lit_var l)))
+      0 !learned
+  in
+  (Array.of_list lits, backjump)
+
+let cancel_until s lvl =
+  if s.decision_level > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = lit_var s.trail.(i) in
+      s.phase.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.decision_level <- lvl
+  end
+
+let decide s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  if !best = -1 then None
+  else begin
+    let v = !best in
+    s.trail_lim.(s.decision_level) <- s.trail_size;
+    s.decision_level <- s.decision_level + 1;
+    enqueue s (if s.phase.(v) then v + 1 else -(v + 1)) (-1);
+    Some v
+  end
+
+(* Record a learned clause and enqueue its asserting literal (position
+   0). Position 1 is set to a literal of maximal level so the watch
+   invariant holds after backjumping. Returns false on refutation. *)
+let record_learned s lits =
+  match Array.length lits with
+  | 0 -> false
+  | 1 -> (
+      match value s lits.(0) with
+      | 1 -> true
+      | -1 -> false
+      | _ ->
+          enqueue s lits.(0) (-1);
+          true)
+  | n ->
+      let best = ref 1 in
+      for k = 2 to n - 1 do
+        if s.level.(lit_var lits.(k)) > s.level.(lit_var lits.(!best)) then
+          best := k
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!best);
+      lits.(!best) <- tmp;
+      grow_clauses s;
+      s.clauses.(s.nclauses) <- lits;
+      attach s s.nclauses;
+      enqueue s lits.(0) s.nclauses;
+      s.nclauses <- s.nclauses + 1;
+      true
+
+let solve_solver s =
+  let conflicts = ref 0 in
+  let restart_budget = ref 100 in
+  let rec loop () =
+    let conflict = propagate s in
+    if conflict >= 0 then begin
+      incr conflicts;
+      if s.decision_level = 0 then Unsat
+      else begin
+        let learned, backjump = analyze s conflict in
+        cancel_until s backjump;
+        decay s;
+        if not (record_learned s learned) then Unsat
+        else if !conflicts >= !restart_budget then begin
+          restart_budget := !restart_budget + (!restart_budget / 2);
+          cancel_until s 0;
+          loop ()
+        end
+        else loop ()
+      end
+    end
+    else
+      match decide s with
+      | None -> Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
+      | Some _ -> loop ()
+  in
+  loop ()
+
+let solve ~nvars clauses =
+  let s = create nvars (List.length clauses) in
+  (* seed activities with occurrence counts for a Jeroslow-Wang-ish
+     initial order and initial phases *)
+  let pos = Array.make (max nvars 1) 0.0 and neg = Array.make (max nvars 1) 0.0 in
+  List.iter
+    (fun c ->
+      let w = 2.0 ** float_of_int (-min (List.length c) 30) in
+      List.iter
+        (fun l ->
+          if l > 0 then pos.(lit_var l) <- pos.(lit_var l) +. w
+          else neg.(lit_var l) <- neg.(lit_var l) +. w)
+        c)
+    clauses;
+  for v = 0 to nvars - 1 do
+    s.activity.(v) <- pos.(v) +. neg.(v);
+    s.phase.(v) <- pos.(v) >= neg.(v)
+  done;
+  (* normalise: drop tautologies, deduplicate literals *)
+  let normalised =
+    List.filter_map
+      (fun c ->
+        let c = List.sort_uniq compare c in
+        if List.exists (fun l -> List.mem (-l) c) c then None else Some c)
+      clauses
+  in
+  let ok =
+    List.for_all (fun c -> add_clause s (Array.of_list c)) normalised
+  in
+  if not ok then Unsat else solve_solver s
+
+let lit_true model l = if l > 0 then model.(l - 1) else not model.(-l - 1)
+
+(* Enumerate satisfying assignments projected to the [project]ed
+   literals, blocking each found projection. *)
+let enumerate ~nvars ~project ?(limit = max_int) clauses =
+  let rec go acc clauses n =
+    if n >= limit then List.rev acc
+    else
+      match solve ~nvars clauses with
+      | Unsat -> List.rev acc
+      | Sat model ->
+          let blocking =
+            List.map (fun l -> if lit_true model l then -l else l) project
+          in
+          if blocking = [] then List.rev (model :: acc)
+          else go (model :: acc) (blocking :: clauses) (n + 1)
+  in
+  go [] clauses 0

@@ -1,0 +1,21 @@
+(** A small DPLL SAT solver (unit propagation, chronological
+    backtracking) used by the bounded model finder. Literals are
+    non-zero integers ±v for 1-based variables. *)
+
+type result =
+  | Sat of bool array
+  | Unsat
+
+val solve : nvars:int -> int list list -> result
+
+(** Truth of a literal in a model array. *)
+val lit_true : bool array -> int -> bool
+
+(** Enumerate models projected onto the [project]ed literals, blocking
+    each projection; stops at [limit]. *)
+val enumerate :
+  nvars:int ->
+  project:int list ->
+  ?limit:int ->
+  int list list ->
+  bool array list

@@ -1,0 +1,254 @@
+module SMap = Logic.Names.SMap
+module F = Logic.Formula
+
+(* Grounding of FO(=, counting) sentences over a fixed finite domain into
+   propositional clauses. One SAT variable per possible fact; Tseitin
+   auxiliaries for the structure. Distinct domain elements are distinct
+   (standard names for constants; labelled nulls are kept distinct —
+   models with fused nulls are covered by smaller domains). *)
+
+type t = {
+  domain : Structure.Element.t array;
+  fact_ids : (Structure.Instance.fact, int) Hashtbl.t;
+  mutable facts_rev : Structure.Instance.fact list;
+  mutable nfacts : int;
+  mutable nvars : int;
+  mutable clauses : int list list;
+}
+
+type env = Structure.Element.t SMap.t
+
+exception Unbound_variable of string
+
+let create ~domain ~signature =
+  let t =
+    {
+      domain = Array.of_list domain;
+      fact_ids = Hashtbl.create 64;
+      facts_rev = [];
+      nfacts = 0;
+      nvars = 0;
+      clauses = [];
+    }
+  in
+  (* Pre-register every possible fact so that model extraction sees a
+     stable variable layout. *)
+  let rec tuples k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun e -> e :: rest) (Array.to_list t.domain))
+        (tuples (k - 1))
+  in
+  List.iter
+    (fun (rel, arity) ->
+      List.iter
+        (fun args ->
+          let f = Structure.Instance.fact rel args in
+          if not (Hashtbl.mem t.fact_ids f) then begin
+            t.nfacts <- t.nfacts + 1;
+            t.nvars <- t.nvars + 1;
+            Hashtbl.replace t.fact_ids f t.nvars;
+            t.facts_rev <- f :: t.facts_rev
+          end)
+        (tuples arity))
+    (Logic.Signature.to_list signature);
+  t
+
+let fact_var t f =
+  match Hashtbl.find_opt t.fact_ids f with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Fmt.str "Ground.fact_var: fact %a outside the signature"
+           Structure.Instance.pp_fact f)
+
+let fresh_aux t =
+  t.nvars <- t.nvars + 1;
+  t.nvars
+
+let add_clause t c = t.clauses <- c :: t.clauses
+
+(* ------------------------------------------------------------------ *)
+(* Formula -> ground circuit                                            *)
+(* ------------------------------------------------------------------ *)
+
+type g =
+  | GTrue
+  | GFalse
+  | GLit of int
+  | GAnd of g list
+  | GOr of g list
+
+let gand parts =
+  let rec go acc = function
+    | [] -> ( match acc with [] -> GTrue | [ x ] -> x | xs -> GAnd xs)
+    | GTrue :: rest -> go acc rest
+    | GFalse :: _ -> GFalse
+    | GAnd xs :: rest -> go acc (xs @ rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] parts
+
+let gor parts =
+  let rec go acc = function
+    | [] -> ( match acc with [] -> GFalse | [ x ] -> x | xs -> GOr xs)
+    | GFalse :: rest -> go acc rest
+    | GTrue :: _ -> GTrue
+    | GOr xs :: rest -> go acc (xs @ rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] parts
+
+let element env = function
+  | Logic.Term.Const c -> Structure.Element.Const c
+  | Logic.Term.Var v -> (
+      match SMap.find_opt v env with
+      | Some e -> e
+      | None -> raise (Unbound_variable v))
+
+(* All subsets of size n of a list (n small). *)
+let rec subsets n = function
+  | _ when n = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
+
+let rec ground t env sign (f : F.t) =
+  match f with
+  | F.True -> if sign then GTrue else GFalse
+  | F.False -> if sign then GFalse else GTrue
+  | F.Atom (r, ts) ->
+      let fact = Structure.Instance.fact r (List.map (element env) ts) in
+      let v = fact_var t fact in
+      GLit (if sign then v else -v)
+  | F.Eq (a, b) ->
+      let same = Structure.Element.equal (element env a) (element env b) in
+      if same = sign then GTrue else GFalse
+  | F.Not g -> ground t env (not sign) g
+  | F.And (a, b) ->
+      if sign then gand [ ground t env true a; ground t env true b ]
+      else gor [ ground t env false a; ground t env false b ]
+  | F.Or (a, b) ->
+      if sign then gor [ ground t env true a; ground t env true b ]
+      else gand [ ground t env false a; ground t env false b ]
+  | F.Implies (a, b) ->
+      if sign then gor [ ground t env false a; ground t env true b ]
+      else gand [ ground t env true a; ground t env false b ]
+  | F.Forall (vs, g) ->
+      let parts = assignments t env vs (fun env' -> ground t env' sign g) in
+      if sign then gand parts else gor parts
+  | F.Exists (vs, g) ->
+      let parts = assignments t env vs (fun env' -> ground t env' sign g) in
+      if sign then gor parts else gand parts
+  | F.CountGeq (n, v, g) ->
+      let dom = Array.to_list t.domain in
+      if sign then
+        (* some n distinct witnesses all satisfy g *)
+        gor
+          (List.map
+             (fun s ->
+               gand
+                 (List.map (fun e -> ground t (SMap.add v e env) true g) s))
+             (subsets n dom))
+      else
+        (* every choice of n distinct witnesses has a failure *)
+        gand
+          (List.map
+             (fun s ->
+               gor (List.map (fun e -> ground t (SMap.add v e env) false g) s))
+             (subsets n dom))
+
+and assignments t env vs k =
+  match vs with
+  | [] -> [ k env ]
+  | v :: rest ->
+      List.concat_map
+        (fun e -> assignments t (SMap.add v e env) rest k)
+        (Array.to_list t.domain)
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Literal equisatisfiably representing [g]. *)
+let rec lit_of t g =
+  match g with
+  | GTrue | GFalse -> assert false (* removed by smart constructors *)
+  | GLit l -> l
+  | GAnd parts ->
+      let ls = List.map (lit_of t) parts in
+      let a = fresh_aux t in
+      List.iter (fun l -> add_clause t [ -a; l ]) ls;
+      add_clause t (a :: List.map (fun l -> -l) ls);
+      a
+  | GOr parts ->
+      let ls = List.map (lit_of t) parts in
+      let a = fresh_aux t in
+      List.iter (fun l -> add_clause t [ -l; a ]) ls;
+      add_clause t (-a :: ls);
+      a
+
+(* Assert a ground circuit at top level (avoiding an auxiliary for the
+   outermost and/or). *)
+let rec assert_g t g =
+  match g with
+  | GTrue -> ()
+  | GFalse -> add_clause t []
+  | GLit l -> add_clause t [ l ]
+  | GAnd parts -> List.iter (assert_g t) parts
+  | GOr parts -> add_clause t (List.map (lit_of t) parts)
+
+let assert_formula ?(env = SMap.empty) t f = assert_g t (ground t env true f)
+let assert_negation ?(env = SMap.empty) t f = assert_g t (ground t env false f)
+
+(* A literal equivalent to [f] under [env] (full Tseitin equivalence),
+   for projected model enumeration. *)
+let reify ?(env = SMap.empty) t f =
+  match ground t env true f with
+  | GTrue ->
+      let a = fresh_aux t in
+      add_clause t [ a ];
+      a
+  | GFalse ->
+      let a = fresh_aux t in
+      add_clause t [ -a ];
+      a
+  | g -> lit_of t g
+
+let assert_instance t inst =
+  List.iter
+    (fun f -> add_clause t [ fact_var t f ])
+    (Structure.Instance.facts inst)
+
+(* ------------------------------------------------------------------ *)
+(* Solving and model extraction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let model_to_instance t model =
+  let base =
+    Array.fold_left
+      (fun inst e -> Structure.Instance.add_element e inst)
+      Structure.Instance.empty t.domain
+  in
+  List.fold_left
+    (fun inst f ->
+      let v = fact_var t f in
+      if model.(v - 1) then Structure.Instance.add_fact f inst else inst)
+    base (List.rev t.facts_rev)
+
+let solve t =
+  match Dpll.solve ~nvars:t.nvars t.clauses with
+  | Dpll.Unsat -> None
+  | Dpll.Sat model -> Some (model_to_instance t model)
+
+let enumerate ?(limit = max_int) t =
+  let project = List.init t.nfacts (fun i -> i + 1) in
+  Dpll.enumerate ~nvars:t.nvars ~project ~limit t.clauses
+  |> List.map (model_to_instance t)
+
+(* Enumerate the distinct truth-value combinations of the given
+   (reified) literals over all models. *)
+let enumerate_projections ?(limit = max_int) t lits =
+  Dpll.enumerate ~nvars:t.nvars ~project:lits ~limit t.clauses
+  |> List.map (fun model -> List.map (Dpll.lit_true model) lits)

@@ -1,0 +1,43 @@
+(** Grounding of FO(=, counting) sentences over a fixed finite domain
+    into propositional clauses (one SAT variable per possible fact,
+    Tseitin auxiliaries for structure). Together with {!Dpll} this gives
+    the bounded model finder {!Bounded}. *)
+
+type t
+
+type env = Structure.Element.t Logic.Names.SMap.t
+
+exception Unbound_variable of string
+
+(** [create ~domain ~signature] pre-registers every possible fact over
+    the domain for the given signature. *)
+val create :
+  domain:Structure.Element.t list -> signature:Logic.Signature.t -> t
+
+(** SAT variable of a possible fact.
+    @raise Invalid_argument for facts outside the signature/domain. *)
+val fact_var : t -> Structure.Instance.fact -> int
+
+(** Assert that [f] holds (under [env] for its free variables). *)
+val assert_formula : ?env:env -> t -> Logic.Formula.t -> unit
+
+(** Assert that [f] fails. *)
+val assert_negation : ?env:env -> t -> Logic.Formula.t -> unit
+
+(** Force all facts of an instance to be true. *)
+val assert_instance : t -> Structure.Instance.t -> unit
+
+(** Solve; [Some m] is a model containing exactly the true facts, with
+    the whole domain as its universe. *)
+val solve : t -> Structure.Instance.t option
+
+(** Enumerate models (distinct fact sets), up to [limit]. *)
+val enumerate : ?limit:int -> t -> Structure.Instance.t list
+
+(** A literal equivalent to [f] under [env] (full Tseitin equivalence),
+    for projected enumeration. *)
+val reify : ?env:env -> t -> Logic.Formula.t -> int
+
+(** Distinct truth-value combinations of the given literals over all
+    models (each result aligns with the input literal list). *)
+val enumerate_projections : ?limit:int -> t -> int list -> bool list list

@@ -1,0 +1,1 @@
+lib/rewriting/typeprog.ml: Array Buffer Fun Hashtbl List Logic Option Printf Query Reasoner String Structure

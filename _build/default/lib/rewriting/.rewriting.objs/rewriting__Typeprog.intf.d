@@ -1,0 +1,1 @@
+lib/rewriting/typeprog.mli: Logic Query Structure

@@ -1,0 +1,1 @@
+lib/sat22/reduction.ml: Fun List Logic Printf Query Reasoner Structure Twotwosat

@@ -1,0 +1,1 @@
+lib/sat22/reduction.mli: Logic Query Structure Twotwosat

@@ -1,0 +1,1 @@
+lib/sat22/twotwosat.ml: Fmt List Logic Option Printf Random

@@ -1,0 +1,1 @@
+lib/sat22/twotwosat.mli: Fmt Logic Random

@@ -1,0 +1,1 @@
+lib/structure/element.ml: Fmt Map Set Stdlib

@@ -1,0 +1,1 @@
+lib/structure/element.mli: Fmt Map Set

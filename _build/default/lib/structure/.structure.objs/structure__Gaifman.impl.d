@@ -1,0 +1,1 @@
+lib/structure/gaifman.ml: Element Hashtbl Instance List Option Queue

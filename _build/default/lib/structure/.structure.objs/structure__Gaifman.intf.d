@@ -1,0 +1,1 @@
+lib/structure/gaifman.mli: Element Instance

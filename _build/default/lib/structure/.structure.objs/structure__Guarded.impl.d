@@ -1,0 +1,1 @@
+lib/structure/guarded.ml: Element Instance List

@@ -1,0 +1,1 @@
+lib/structure/guarded.mli: Element Instance

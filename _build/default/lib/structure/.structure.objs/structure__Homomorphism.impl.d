@@ -1,0 +1,1 @@
+lib/structure/homomorphism.ml: Element Gaifman Hashtbl Instance List Option

@@ -1,0 +1,1 @@
+lib/structure/homomorphism.mli: Element Instance

@@ -1,0 +1,1 @@
+lib/structure/instance.ml: Element Fmt List Logic Option Set Stdlib

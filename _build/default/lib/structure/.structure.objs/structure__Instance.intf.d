@@ -1,0 +1,1 @@
+lib/structure/instance.mli: Element Fmt Logic Set

@@ -1,0 +1,1 @@
+lib/structure/modelcheck.ml: Element Instance List Logic

@@ -1,0 +1,1 @@
+lib/structure/modelcheck.mli: Element Instance Logic

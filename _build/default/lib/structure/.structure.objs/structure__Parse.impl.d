@@ -1,0 +1,1 @@
+lib/structure/parse.ml: Element Instance List String

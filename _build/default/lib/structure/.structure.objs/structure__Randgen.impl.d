@@ -1,0 +1,1 @@
+lib/structure/randgen.ml: Element Instance List Logic Printf Random

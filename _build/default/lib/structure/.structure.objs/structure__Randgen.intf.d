@@ -1,0 +1,1 @@
+lib/structure/randgen.mli: Element Instance Logic Random

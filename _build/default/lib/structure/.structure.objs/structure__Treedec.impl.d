@@ -1,0 +1,1 @@
+lib/structure/treedec.ml: Array Element Fun Gaifman Guarded Hashtbl Instance List Option

@@ -1,0 +1,1 @@
+lib/structure/treedec.mli: Element Instance

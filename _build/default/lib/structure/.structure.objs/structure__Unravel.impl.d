@@ -1,0 +1,1 @@
+lib/structure/unravel.ml: Array Element Guarded Instance List Option Printf

@@ -1,0 +1,1 @@
+lib/structure/unravel.mli: Element Instance

@@ -1,0 +1,26 @@
+type t =
+  | Const of string
+  | Null of int
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let is_null = function Null _ -> true | Const _ -> false
+let is_const e = not (is_null e)
+
+let pp ppf = function
+  | Const c -> Fmt.string ppf c
+  | Null n -> Fmt.pf ppf "_n%d" n
+
+let to_string e = Fmt.str "%a" pp e
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

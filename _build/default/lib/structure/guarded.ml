@@ -1,0 +1,83 @@
+module ESet = Element.Set
+
+(* A set G is guarded if it is a singleton or contained in the argument
+   set of some fact (Section 2.2). *)
+let is_guarded t g =
+  match ESet.cardinal g with
+  | 0 -> false
+  | 1 -> ESet.subset g (Instance.domain t)
+  | _ -> (
+      match ESet.choose_opt g with
+      | None -> false
+      | Some e ->
+          List.exists
+            (fun (f : Instance.fact) ->
+              ESet.subset g (ESet.of_list f.args))
+            (Instance.incident e t))
+
+let is_guarded_tuple t args = is_guarded t (ESet.of_list args)
+
+(* All guarded sets arising from facts (argument sets), plus singletons. *)
+let all_guarded_sets t =
+  let from_facts =
+    List.fold_left
+      (fun acc (f : Instance.fact) ->
+        let s = ESet.of_list f.args in
+        if ESet.is_empty s then acc else s :: acc)
+      [] (Instance.facts t)
+  in
+  let singletons =
+    List.map ESet.singleton (Instance.domain_list t)
+  in
+  List.sort_uniq ESet.compare (from_facts @ singletons)
+
+(* Maximal guarded sets under set inclusion. *)
+let maximal_guarded_sets t =
+  let sets = all_guarded_sets t in
+  List.filter
+    (fun g ->
+      not
+        (List.exists
+           (fun g' -> (not (ESet.equal g g')) && ESet.subset g g')
+           sets))
+    sets
+
+(* The 1-neighbourhood of [a]: union of all guarded sets containing [a]
+   (used for bouquets, Section 8). *)
+let one_neighbourhood t a =
+  let union_sets =
+    List.fold_left
+      (fun acc (f : Instance.fact) -> ESet.union acc (ESet.of_list f.args))
+      (ESet.singleton a) (Instance.incident a t)
+  in
+  Instance.restrict union_sets t
+
+(* A bouquet with root [a] is an instance equal to the 1-neighbourhood of
+   its root. *)
+let is_bouquet t a =
+  Instance.equal t (one_neighbourhood t a)
+  && ESet.mem a (Instance.domain t)
+
+let is_irreflexive t =
+  not
+    (List.exists
+       (fun (f : Instance.fact) ->
+         match f.args with [ x; y ] -> Element.equal x y | _ -> false)
+       (Instance.facts t))
+
+(* Outdegree of a binary-signature instance viewed as an undirected
+   graph: maximum number of distinct neighbours of an element. *)
+let outdegree t =
+  ESet.fold
+    (fun e m ->
+      let nbrs =
+        List.fold_left
+          (fun acc (f : Instance.fact) ->
+            List.fold_left
+              (fun acc e' ->
+                if Element.equal e e' then acc else ESet.add e' acc)
+              acc f.args)
+          ESet.empty (Instance.incident e t)
+      in
+      max m (ESet.cardinal nbrs))
+    (Instance.domain t) 0

@@ -1,0 +1,134 @@
+module SMap = Logic.Names.SMap
+
+type fact = { rel : string; args : Element.t list }
+
+let fact rel args = { rel; args }
+
+let compare_fact = Stdlib.compare
+
+module FactSet = Set.Make (struct
+  type t = fact
+
+  let compare = compare_fact
+end)
+
+type t = {
+  facts : FactSet.t;
+  domain : Element.Set.t;
+  incidence : FactSet.t Element.Map.t;
+  signature : Logic.Signature.t;
+}
+
+let empty =
+  {
+    facts = FactSet.empty;
+    domain = Element.Set.empty;
+    incidence = Element.Map.empty;
+    signature = Logic.Signature.empty;
+  }
+
+let add_element e t = { t with domain = Element.Set.add e t.domain }
+
+let add_fact f t =
+  if FactSet.mem f t.facts then t
+  else
+    let domain =
+      List.fold_left (fun d e -> Element.Set.add e d) t.domain f.args
+    in
+    let incidence =
+      List.fold_left
+        (fun m e ->
+          let cur =
+            Option.value (Element.Map.find_opt e m) ~default:FactSet.empty
+          in
+          Element.Map.add e (FactSet.add f cur) m)
+        t.incidence f.args
+    in
+    {
+      facts = FactSet.add f t.facts;
+      domain;
+      incidence;
+      signature = Logic.Signature.add f.rel (List.length f.args) t.signature;
+    }
+
+let of_facts fs = List.fold_left (fun t f -> add_fact f t) empty fs
+
+let of_list l = of_facts (List.map (fun (r, args) -> fact r args) l)
+
+let facts t = FactSet.elements t.facts
+let fact_set t = t.facts
+let mem f t = FactSet.mem f t.facts
+let domain t = t.domain
+let domain_list t = Element.Set.elements t.domain
+let cardinal t = FactSet.cardinal t.facts
+let domain_size t = Element.Set.cardinal t.domain
+let signature t = t.signature
+
+let incident e t =
+  match Element.Map.find_opt e t.incidence with
+  | Some fs -> FactSet.elements fs
+  | None -> []
+
+let tuples rel t =
+  FactSet.fold
+    (fun f acc -> if f.rel = rel then f.args :: acc else acc)
+    t.facts []
+
+let union a b = FactSet.fold (fun f t -> add_fact f t) b.facts
+    { a with domain = Element.Set.union a.domain b.domain }
+
+let subset a b = FactSet.subset a.facts b.facts
+
+let restrict elems t =
+  let keep f = List.for_all (fun e -> Element.Set.mem e elems) f.args in
+  let base =
+    { empty with domain = Element.Set.inter elems t.domain }
+  in
+  FactSet.fold (fun f acc -> if keep f then add_fact f acc else acc) t.facts base
+
+let map_elements h t =
+  let base = { empty with domain = Element.Set.map h t.domain } in
+  FactSet.fold
+    (fun f acc -> add_fact { f with args = List.map h f.args } acc)
+    t.facts base
+
+let max_null t =
+  Element.Set.fold
+    (fun e m -> match e with Element.Null n -> max n m | Element.Const _ -> m)
+    t.domain (-1)
+
+let fresh_nulls n t =
+  let base = max_null t + 1 in
+  List.init n (fun i -> Element.Null (base + i))
+
+let constants t = Element.Set.filter Element.is_const t.domain
+
+(* Rename nulls of [b] so that they are disjoint from those of [a]. *)
+let shift_nulls_away ~from:a b =
+  let offset = max_null a + 1 in
+  if offset = 0 then b
+  else
+    map_elements
+      (function
+        | Element.Null n -> Element.Null (n + offset)
+        | Element.Const _ as e -> e)
+      b
+
+let disjoint_union a b =
+  (* Disjoint union in the model-theoretic sense: both domains are made
+     disjoint by tagging constants and shifting nulls. *)
+  let tag prefix = function
+    | Element.Const c -> Element.Const (prefix ^ c)
+    | Element.Null _ as e -> e
+  in
+  let a' = map_elements (tag "l:") a in
+  let b' = shift_nulls_away ~from:a' (map_elements (tag "r:") b) in
+  union a' b'
+
+let equal a b = FactSet.equal a.facts b.facts && Element.Set.equal a.domain b.domain
+
+let pp_fact ppf f =
+  Fmt.pf ppf "%s(%a)" f.rel Fmt.(list ~sep:comma Element.pp) f.args
+
+let pp ppf t =
+  Fmt.pf ppf "@[<hv>{%a}@]" Fmt.(list ~sep:semi pp_fact) (facts t)

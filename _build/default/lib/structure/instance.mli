@@ -1,0 +1,72 @@
+(** Database instances and interpretations (Section 2).
+
+    An instance is a finite set of facts over constants; an interpretation
+    may additionally contain labelled nulls and isolated domain elements.
+    Both are represented by this one type. *)
+
+type fact = { rel : string; args : Element.t list }
+
+val fact : string -> Element.t list -> fact
+val compare_fact : fact -> fact -> int
+
+module FactSet : Set.S with type elt = fact
+
+type t
+
+val empty : t
+
+(** [add_element e t] adds an (possibly isolated) element to the domain. *)
+val add_element : Element.t -> t -> t
+
+val add_fact : fact -> t -> t
+val of_facts : fact list -> t
+
+(** [of_list [(r, args); ...]] builds an instance from labelled tuples. *)
+val of_list : (string * Element.t list) list -> t
+
+val facts : t -> fact list
+val fact_set : t -> FactSet.t
+val mem : fact -> t -> bool
+val domain : t -> Element.Set.t
+val domain_list : t -> Element.t list
+val cardinal : t -> int
+val domain_size : t -> int
+val signature : t -> Logic.Signature.t
+
+(** [incident e t] is the list of facts of [t] mentioning [e]. *)
+val incident : Element.t -> t -> fact list
+
+(** [tuples r t] lists the argument tuples of relation [r]. *)
+val tuples : string -> t -> Element.t list list
+
+val union : t -> t -> t
+
+(** [subset a b] holds iff every fact of [a] is a fact of [b]
+    (i.e. [b] is a model of the instance [a]). *)
+val subset : t -> t -> bool
+
+(** [restrict s t] is the subinterpretation of [t] induced by [s]. *)
+val restrict : Element.Set.t -> t -> t
+
+(** [map_elements h t] applies [h] to every element. *)
+val map_elements : (Element.t -> Element.t) -> t -> t
+
+(** Largest null index occurring in the domain, or [-1]. *)
+val max_null : t -> int
+
+(** [fresh_nulls n t] returns [n] nulls not occurring in [t]. *)
+val fresh_nulls : int -> t -> Element.t list
+
+val constants : t -> Element.Set.t
+
+(** [shift_nulls_away ~from:a b] renames the nulls of [b] apart from
+    those of [a]. *)
+val shift_nulls_away : from:t -> t -> t
+
+(** Model-theoretic disjoint union: domains are made disjoint by tagging
+    constants with ["l:"] / ["r:"] and shifting nulls. *)
+val disjoint_union : t -> t -> t
+
+val equal : t -> t -> bool
+val pp_fact : fact Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,63 @@
+module EMap = Element.Map
+module SMap = Logic.Names.SMap
+
+type env = Element.t SMap.t
+
+exception Unbound_variable of string
+
+let term env = function
+  | Logic.Term.Const c -> Element.Const c
+  | Logic.Term.Var v -> (
+      match SMap.find_opt v env with
+      | Some e -> e
+      | None -> raise (Unbound_variable v))
+
+(* Finite-model evaluation of an FO(=, counting) formula: quantifiers
+   range over the full domain of the interpretation. Exponential in the
+   quantifier block width; intended for small structures (tests and
+   bounded experiments). *)
+let rec eval inst env (f : Logic.Formula.t) =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom (r, ts) ->
+      Instance.mem (Instance.fact r (List.map (term env) ts)) inst
+  | Eq (s, t) -> Element.equal (term env s) (term env t)
+  | Not g -> not (eval inst env g)
+  | And (a, b) -> eval inst env a && eval inst env b
+  | Or (a, b) -> eval inst env a || eval inst env b
+  | Implies (a, b) -> (not (eval inst env a)) || eval inst env b
+  | Forall (vs, g) ->
+      for_all_assignments inst env vs (fun env' -> eval inst env' g)
+  | Exists (vs, g) ->
+      not
+        (for_all_assignments inst env vs (fun env' -> not (eval inst env' g)))
+  | CountGeq (n, v, g) ->
+      let count = ref 0 in
+      (try
+         Element.Set.iter
+           (fun e ->
+             if eval inst (SMap.add v e env) g then begin
+               incr count;
+               if !count >= n then raise Exit
+             end)
+           (Instance.domain inst)
+       with Exit -> ());
+      !count >= n
+
+and for_all_assignments inst env vs k =
+  match vs with
+  | [] -> k env
+  | v :: rest ->
+      Element.Set.for_all
+        (fun e -> for_all_assignments inst (SMap.add v e env) rest k)
+        (Instance.domain inst)
+
+let holds inst f =
+  if not (Logic.Formula.is_sentence f) then
+    invalid_arg "Modelcheck.holds: formula has free variables";
+  eval inst SMap.empty f
+
+let is_model inst fs = List.for_all (holds inst) fs
+
+let env_of_list l = SMap.of_seq (List.to_seq l)

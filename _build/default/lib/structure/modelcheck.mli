@@ -1,0 +1,21 @@
+(** Finite-model evaluation of FO(=, counting) formulas over
+    interpretations. Quantifiers range over the full domain; complexity is
+    exponential in quantifier width, which is fine for the small
+    structures used in tests and bounded experiments. *)
+
+type env = Element.t Logic.Names.SMap.t
+
+exception Unbound_variable of string
+
+(** [eval inst env f] evaluates [f] under the variable assignment [env].
+    @raise Unbound_variable on a free variable missing from [env]. *)
+val eval : Instance.t -> env -> Logic.Formula.t -> bool
+
+(** [holds inst f] evaluates a sentence.
+    @raise Invalid_argument if [f] has free variables. *)
+val holds : Instance.t -> Logic.Formula.t -> bool
+
+(** [is_model inst fs] checks all sentences of [fs]. *)
+val is_model : Instance.t -> Logic.Formula.t list -> bool
+
+val env_of_list : (string * Element.t) list -> env

@@ -1,0 +1,49 @@
+(* A small text format for instances: one fact per line, [R(a,b)] with
+   optional trailing dot; '#' starts a comment. *)
+
+exception Parse_error of { line : int; message : string }
+
+let error line message = raise (Parse_error { line; message })
+
+let parse_fact ~line s =
+  match String.index_opt s '(' with
+  | None -> error line "expected R(a,...)"
+  | Some i ->
+      let rel = String.trim (String.sub s 0 i) in
+      if rel = "" then error line "empty relation name";
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let rest = String.trim rest in
+      let rest =
+        match String.rindex_opt rest ')' with
+        | Some j when j = String.length rest - 1 ->
+            String.sub rest 0 (String.length rest - 1)
+        | _ -> error line "missing closing parenthesis"
+      in
+      let args =
+        String.split_on_char ',' rest
+        |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+      in
+      if args = [] then error line "a fact needs at least one argument";
+      Instance.fact rel (List.map (fun a -> Element.Const a) args)
+
+let instance_of_string text =
+  let lines = String.split_on_char '\n' text in
+  List.fold_left
+    (fun (inst, n) raw ->
+      let line = n + 1 in
+      let s = String.trim raw in
+      let s =
+        match String.index_opt s '#' with
+        | Some i -> String.trim (String.sub s 0 i)
+        | None -> s
+      in
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '.' then
+          String.trim (String.sub s 0 (String.length s - 1))
+        else s
+      in
+      if s = "" then (inst, line)
+      else (Instance.add_fact (parse_fact ~line s) inst, line))
+    (Instance.empty, 0) lines
+  |> fst

@@ -1,0 +1,6 @@
+(** Text format for instances: one fact [R(a,b)] per line, optional
+    trailing dot, ['#'] comments. *)
+
+exception Parse_error of { line : int; message : string }
+
+val instance_of_string : string -> Instance.t

@@ -1,0 +1,46 @@
+(* Seeded random instance generation, used by tests, the invariance
+   checker and the benchmark harness. *)
+
+let elements n = List.init n (fun i -> Element.Const (Printf.sprintf "c%d" i))
+
+let rec tuples dom k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map (fun rest -> List.map (fun e -> e :: rest) dom) (tuples dom (k - 1))
+
+(* A random instance over [signature] with [size] constants: each possible
+   fact is included independently with probability [p]. *)
+let instance ~rng ~signature ~size ~p =
+  let dom = elements size in
+  let base =
+    List.fold_left (fun t e -> Instance.add_element e t) Instance.empty dom
+  in
+  List.fold_left
+    (fun inst (rel, arity) ->
+      List.fold_left
+        (fun inst args ->
+          if Random.State.float rng 1.0 < p then
+            Instance.add_fact (Instance.fact rel args) inst
+          else inst)
+        inst (tuples dom arity))
+    base
+    (Logic.Signature.to_list signature)
+
+(* A random connected-ish instance: as [instance] but guarantees at least
+   one fact (instances are non-empty sets of facts). *)
+let nonempty_instance ~rng ~signature ~size ~p =
+  let rec go tries =
+    let inst = instance ~rng ~signature ~size ~p in
+    if Instance.cardinal inst > 0 || tries > 20 then inst
+    else go (tries + 1)
+  in
+  let inst = go 0 in
+  if Instance.cardinal inst > 0 then inst
+  else
+    (* Force one fact on the first relation. *)
+    match Logic.Signature.to_list signature with
+    | [] -> inst
+    | (rel, arity) :: _ ->
+        let dom = elements (max size 1) in
+        let args = List.init arity (fun i -> List.nth dom (i mod List.length dom)) in
+        Instance.add_fact (Instance.fact rel args) inst

@@ -1,0 +1,25 @@
+(** Seeded random instance generation for tests and experiments. *)
+
+(** [elements n] is the constants c0 … c{n-1}. *)
+val elements : int -> Element.t list
+
+(** All [k]-tuples over a domain. *)
+val tuples : Element.t list -> int -> Element.t list list
+
+(** [instance ~rng ~signature ~size ~p] draws each possible fact over
+    [size] constants independently with probability [p]. *)
+val instance :
+  rng:Random.State.t ->
+  signature:Logic.Signature.t ->
+  size:int ->
+  p:float ->
+  Instance.t
+
+(** As {!instance} but guarantees at least one fact when the signature is
+    non-empty. *)
+val nonempty_instance :
+  rng:Random.State.t ->
+  signature:Logic.Signature.t ->
+  size:int ->
+  p:float ->
+  Instance.t

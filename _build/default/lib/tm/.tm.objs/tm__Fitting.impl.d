@@ -1,0 +1,1 @@
+lib/tm/fitting.ml: Array List Machine Option Printf String

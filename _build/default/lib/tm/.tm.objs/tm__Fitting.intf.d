@@ -1,0 +1,1 @@
+lib/tm/fitting.mli: Machine

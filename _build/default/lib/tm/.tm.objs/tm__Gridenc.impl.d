@@ -1,0 +1,1 @@
+lib/tm/gridenc.ml: Array Dl List Machine Printf String Structure Tiling

@@ -1,0 +1,1 @@
+lib/tm/gridenc.mli: Dl Machine Structure Tiling

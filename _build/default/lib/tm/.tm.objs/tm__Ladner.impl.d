@@ -1,0 +1,1 @@
+lib/tm/ladner.ml: Bool List String

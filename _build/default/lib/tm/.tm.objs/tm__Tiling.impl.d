@@ -1,0 +1,1 @@
+lib/tm/tiling.ml: Array List Option Printf Structure

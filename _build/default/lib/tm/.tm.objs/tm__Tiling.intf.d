@@ -1,0 +1,1 @@
+lib/tm/tiling.mli: Structure

@@ -1,0 +1,135 @@
+(* The run fitting problem (Definition 8): given a partial run — a
+   sequence of partial configurations with wildcards — decide whether
+   some accepting run of M matches it. In NP for every M; solved here by
+   backtracking over completions of successive configurations. *)
+
+type cell =
+  | Sym of string
+  | State of string
+  | Wild
+
+type partial_config = cell array
+
+type partial_run = partial_config list
+
+exception Bad_partial_run of string
+
+let parse_cell m s =
+  if s = "?" then Wild
+  else if List.mem s m.Machine.states then State s
+  else if List.mem s m.Machine.alphabet then Sym s
+  else raise (Bad_partial_run (Printf.sprintf "unknown cell %S" s))
+
+(* Parse a partial run from rows of whitespace-separated cells. *)
+let parse m rows =
+  let run = List.map (fun row -> Array.of_list (List.map (parse_cell m) (String.split_on_char ' ' (String.trim row)))) rows in
+  (match run with
+  | [] -> raise (Bad_partial_run "empty partial run")
+  | first :: rest ->
+      let n = Array.length first in
+      if List.exists (fun r -> Array.length r <> n) rest then
+        raise (Bad_partial_run "rows of different lengths"));
+  List.iter
+    (fun r ->
+      let states =
+        Array.to_list r
+        |> List.filter (function State _ -> true | _ -> false)
+        |> List.length
+      in
+      if states > 1 then
+        raise (Bad_partial_run "more than one state cell in a row"))
+    run;
+  run
+
+(* Does configuration [c] match partial configuration [pc]? The string
+   of c has length |tape|+1. *)
+let matches (c : Machine.config) (pc : partial_config) =
+  Machine.config_length c = Array.length pc
+  &&
+  let cell_at i =
+    if i < c.head then Sym c.tape.(i)
+    else if i = c.head then State c.state
+    else Sym c.tape.(i - 1)
+  in
+  Array.for_all (fun x -> x)
+    (Array.mapi
+       (fun i pcell ->
+         match pcell with
+         | Wild -> true
+         | other -> other = cell_at i)
+       pc)
+
+(* All configurations of string length [n] matching [pc]. *)
+let completions m n pc =
+  (* choose head position (where the state symbol sits) *)
+  let positions =
+    match
+      Array.to_list pc
+      |> List.mapi (fun i c -> (i, c))
+      |> List.filter (fun (_, c) -> match c with State _ -> true | _ -> false)
+    with
+    | [ (i, _) ] -> [ i ]
+    | [] ->
+        (* any position whose cell is a wildcard *)
+        Array.to_list pc
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter_map (fun (i, c) -> if c = Wild then Some i else None)
+    | _ -> []
+  in
+  List.concat_map
+    (fun head ->
+      let states =
+        match pc.(head) with
+        | State q -> [ q ]
+        | Wild -> m.Machine.states
+        | Sym _ -> []
+      in
+      List.concat_map
+        (fun state ->
+          (* fill tape cells left to right *)
+          let rec fill i acc =
+            if i >= n then List.map (fun tape -> { Machine.tape = Array.of_list (List.rev tape); head; state }) acc
+            else if i = head then fill (i + 1) acc
+            else
+              let choices =
+                match pc.(i) with
+                | Sym s -> [ s ]
+                | Wild -> m.Machine.alphabet
+                | State _ -> []
+              in
+              fill (i + 1)
+                (List.concat_map (fun tape -> List.map (fun s -> s :: tape) choices) acc)
+          in
+          fill 0 [ [] ])
+        states)
+    positions
+
+(* Decide the run fitting problem: is there an accepting run matching
+   the partial run? *)
+let solve m (pr : partial_run) =
+  match pr with
+  | [] -> None
+  | first :: rest ->
+      let n = Array.length first in
+      (* configurations strictly after [config] matching [remaining] *)
+      let rec extend config remaining =
+        match remaining with
+        | [] -> if Machine.is_accepting m config then Some [] else None
+        | pc :: rest' ->
+            List.find_map
+              (fun succ ->
+                if matches succ pc then
+                  match extend succ rest' with
+                  | Some run -> Some (succ :: run)
+                  | None -> None
+                else None)
+              (Machine.successors m config)
+      in
+      List.find_map
+        (fun start ->
+          match extend start rest with
+          | Some run -> Some (start :: run)
+          | None -> None)
+        (completions m n first)
+
+let fits m pr = Option.is_some (solve m pr)

@@ -1,0 +1,432 @@
+module C = Dl.Concept
+
+(* The Theorem 10 construction: ALCIF` ontologies of depth 2 that
+   verify grid cells (Ocell) and properly tiled grids (OP) by
+   propagating markers of the form (= 1 R) — "exactly one R-successor" —
+   which input instances cannot preset positively.
+
+   Border markers are renamed against tile-name collisions:
+   U→Up, R→Rt, L→Lf, D→Dn, A→Acc, F→Fin. *)
+
+(* ------------------------------------------------------------------ *)
+(* Words over {X, Y, X⁻, Y⁻} and the auxiliary relations R^W_i          *)
+(* ------------------------------------------------------------------ *)
+
+type letter = LX | LY | LXi | LYi
+
+let letter_role = function
+  | LX -> C.Name "X"
+  | LY -> C.Name "Y"
+  | LXi -> C.Inv "X"
+  | LYi -> C.Inv "Y"
+
+let letter_name = function LX -> "X" | LY -> "Y" | LXi -> "Xm" | LYi -> "Ym"
+
+type word = letter list
+
+let word_name w = String.concat "" (List.map letter_name w)
+
+(* R^W_i; the empty word gives the base marker relation R_i. *)
+let marker_rel i w =
+  match w with
+  | [] -> Printf.sprintf "R%d" i
+  | _ -> Printf.sprintf "R%d_%s" i (word_name w)
+
+(* (= 1 R): exactly one successor for the binary relation [r]. *)
+let eq_one r = C.And (C.Exists (C.Name r, C.Top), C.leq_one (C.Name r))
+
+let marker i w = eq_one (marker_rel i w)
+
+(* Non-empty suffixes of a word. *)
+let rec suffixes = function
+  | [] -> []
+  | _ :: rest as w -> w :: suffixes rest
+
+let word_c = [ LXi; LYi; LX; LY ]  (* X⁻Y⁻XY *)
+let word_cc = word_c @ word_c
+let word_c' = [ LYi; LXi; LY; LX ]  (* Y⁻X⁻YX *)
+let word_xy = [ LX; LY ]
+let word_yx = [ LY; LX ]
+
+let all_words =
+  List.sort_uniq compare
+    (List.concat_map suffixes [ word_xy; word_yx; word_c; word_cc; word_c' ])
+
+(* Every auxiliary relation of Ocell. *)
+let aux_cell =
+  "P"
+  :: List.concat_map (fun i -> List.map (marker_rel i) ([] :: all_words)) [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ocell: marking lower-left corners of closed grid cells               *)
+(* ------------------------------------------------------------------ *)
+
+let grid_functionality =
+  List.map
+    (fun role -> Dl.Tbox.Sub (C.Top, C.leq_one role))
+    [ C.Name "X"; C.Name "Y"; C.Inv "X"; C.Inv "Y" ]
+
+let exists_top relations =
+  List.map (fun q -> Dl.Tbox.Sub (C.Top, C.Exists (C.Name q, C.Top))) relations
+
+(* Definitional axioms: (= 1 R^{ZW}_i) ≡ ∃Z.(= 1 R^W_i). *)
+let definitional_axioms =
+  List.concat_map
+    (fun i ->
+      List.concat_map
+        (fun w ->
+          match w with
+          | [] -> []
+          | z :: rest ->
+              Dl.Tbox.equivalence (marker i w)
+                (C.Exists (letter_role z, marker i rest)))
+        all_words)
+    [ 1; 2 ]
+
+let ontology_cell =
+  let r12 = C.And (marker 1 [], marker 2 []) in
+  grid_functionality
+  @ exists_top aux_cell
+  (* every node carries R1 or R2 exactly-once *)
+  @ [ Dl.Tbox.Sub (C.Top, C.Or (marker 1 [], marker 2 [])) ]
+  (* closed cell detection *)
+  @ [
+      Dl.Tbox.Sub
+        ( C.conj
+            [ marker 1 word_xy; marker 1 word_yx; marker 2 word_xy; marker 2 word_yx ],
+          eq_one "P" );
+    ]
+  (* at least every third node on X⁻Y⁻XY-cycles carries (=1 R_i) *)
+  @ List.map
+      (fun (i, j) ->
+        Dl.Tbox.Sub
+          ( marker j word_cc,
+            C.disj [ marker i []; marker i word_c; marker i word_cc ] ))
+      [ (1, 2); (2, 1) ]
+  (* if both (=1 R1),(=1 R2) hold somewhere, they hold at neighbours *)
+  @ List.map
+      (fun w -> Dl.Tbox.Sub (C.And (marker 1 w, marker 2 w), r12))
+      [ word_c; word_c' ]
+  @ definitional_axioms
+
+(* The combinatorial condition cell(d) the markers verify. *)
+let cell_holds d e =
+  let succ rel x =
+    List.find_map
+      (fun (f : Structure.Instance.fact) ->
+        match f.args with
+        | [ a; b ] when f.rel = rel && Structure.Element.equal a x -> Some b
+        | _ -> None)
+      (Structure.Instance.incident x d)
+  in
+  match (succ "X" e, succ "Y" e) with
+  | Some d1, Some d2 -> (
+      match (succ "Y" d1, succ "X" d2) with
+      | Some d3, Some d3' -> Structure.Element.equal d3 d3'
+      | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* OP: verifying properly tiled grids                                   *)
+(* ------------------------------------------------------------------ *)
+
+let aux_grid = [ "Fin"; "FinX"; "FinY"; "Up"; "Rt"; "Lf"; "Dn"; "Acc" ]
+
+let fin = eq_one "Fin"
+let up = eq_one "Up"
+let rt = eq_one "Rt"
+let lf = eq_one "Lf"
+let dn = eq_one "Dn"
+let acc = eq_one "Acc"
+let finx = eq_one "FinX"
+let finy = eq_one "FinY"
+
+let tile t = C.Atomic t
+
+(* OP for a tiling problem (Figure 4 of the appendix). *)
+let ontology_p (p : Tiling.t) =
+  let triples =
+    List.concat_map
+      (fun ti ->
+        List.concat_map
+          (fun tj ->
+            List.filter_map
+              (fun tl ->
+                if List.mem (ti, tj) p.Tiling.h && List.mem (ti, tl) p.Tiling.v
+                then Some (ti, tj, tl)
+                else None)
+              p.Tiling.tiles)
+          p.Tiling.tiles)
+      p.Tiling.tiles
+  in
+  let distinct_tile_pairs =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun t -> if String.compare s t < 0 then Some (s, t) else None)
+          p.Tiling.tiles)
+      p.Tiling.tiles
+  in
+  ontology_cell
+  @ exists_top aux_grid
+  @ [
+      (* the final tile starts the verification at the upper right *)
+      Dl.Tbox.Sub (tile p.Tiling.final, C.conj [ fin; up; rt ]);
+      (* marker bookkeeping to stay within depth 2 *)
+      Dl.Tbox.Sub (C.Exists (C.Name "Y", fin), finy);
+      Dl.Tbox.Sub (C.Exists (C.Name "X", fin), finx);
+      (* reaching the initial tile completes the verification *)
+      Dl.Tbox.Sub (C.And (fin, tile p.Tiling.init), C.conj [ acc; dn; lf ]);
+      (* border behaviour *)
+      Dl.Tbox.Sub (up, C.Forall (C.Name "Y", C.Bot));
+      Dl.Tbox.Sub (rt, C.Forall (C.Name "X", C.Bot));
+      Dl.Tbox.Sub (up, C.Forall (C.Name "X", up));
+      Dl.Tbox.Sub (rt, C.Forall (C.Name "Y", rt));
+      Dl.Tbox.Sub (dn, C.Forall (C.Inv "Y", C.Bot));
+      Dl.Tbox.Sub (lf, C.Forall (C.Inv "X", C.Bot));
+      Dl.Tbox.Sub (dn, C.Forall (C.Name "X", dn));
+      Dl.Tbox.Sub (lf, C.Forall (C.Name "Y", lf));
+    ]
+  (* top-row propagation along H *)
+  @ List.filter_map
+      (fun (ti, tj) ->
+        if List.mem (ti, tj) p.Tiling.h then
+          Some
+            (Dl.Tbox.Sub
+               ( C.And
+                   (C.Exists (C.Name "X", C.conj [ up; fin; tile tj ]), tile ti),
+                 C.And (up, fin) ))
+        else None)
+      (List.concat_map
+         (fun a -> List.map (fun b -> (a, b)) p.Tiling.tiles)
+         p.Tiling.tiles)
+  (* right-column propagation along V *)
+  @ List.filter_map
+      (fun (ti, tl) ->
+        if List.mem (ti, tl) p.Tiling.v then
+          Some
+            (Dl.Tbox.Sub
+               ( C.And
+                   (C.Exists (C.Name "Y", C.conj [ rt; fin; tile tl ]), tile ti),
+                 C.And (rt, fin) ))
+        else None)
+      (List.concat_map
+         (fun a -> List.map (fun b -> (a, b)) p.Tiling.tiles)
+         p.Tiling.tiles)
+  (* interior propagation through closed cells *)
+  @ List.map
+      (fun (ti, tj, tl) ->
+        Dl.Tbox.Sub
+          ( C.conj
+              [
+                C.Exists (C.Name "X", C.conj [ tile tj; fin; finy ]);
+                C.Exists (C.Name "Y", C.conj [ tile tl; fin; finx ]);
+                eq_one "P";
+                tile ti;
+              ],
+            fin ))
+      triples
+  (* tiles are mutually exclusive *)
+  @ List.map
+      (fun (s, t) -> Dl.Tbox.Sub (C.And (tile s, tile t), C.Bot))
+      distinct_tile_pairs
+
+(* The Theorem 10 / Lemma 13 ontology: OP plus the triggered
+   disjunction. *)
+let ontology_undecidability p =
+  ontology_p p
+  @ [ Dl.Tbox.Sub (acc, C.Or (C.Atomic "B1", C.Atomic "B2")) ]
+  @ exists_top [ "B1aux" ]
+
+(* ------------------------------------------------------------------ *)
+(* grid(d): the combinatorial condition OP verifies                     *)
+(* ------------------------------------------------------------------ *)
+
+let successor d rel x =
+  List.filter_map
+    (fun (f : Structure.Instance.fact) ->
+      match f.args with
+      | [ a; b ] when f.rel = rel && Structure.Element.equal a x -> Some b
+      | _ -> None)
+    (Structure.Instance.incident x d)
+
+let tiles_of p d x =
+  List.filter
+    (fun t ->
+      Structure.Instance.mem (Structure.Instance.fact t [ x ]) d)
+    p.Tiling.tiles
+
+(* D ⊨ grid(d): d is the lower-left corner (root) of a closed, properly
+   tiled n × m grid embedded in D. *)
+let grid_holds (p : Tiling.t) d e =
+  let unique_succ rel x =
+    match successor d rel x with [ y ] -> Some y | [] -> None | _ -> None
+  in
+  let functional rel x = List.length (successor d rel x) <= 1 in
+  (* follow the X-chain from e for the width, Y-chain for the height *)
+  let rec chain rel x acc =
+    if List.length acc > Structure.Instance.domain_size d then None
+    else
+      match unique_succ rel x with
+      | None -> if functional rel x then Some (List.rev acc) else None
+      | Some y -> chain rel y (y :: acc)
+  in
+  match (chain "X" e [ e ], chain "Y" e [ e ]) with
+  | Some xs, Some ys -> (
+      let n = List.length xs - 1 and m = List.length ys - 1 in
+      let gamma = Array.make_matrix (n + 1) (m + 1) e in
+      List.iteri (fun i x -> gamma.(i).(0) <- x) xs;
+      List.iteri (fun j y -> gamma.(0).(j) <- y) ys;
+      let ok = ref true in
+      for j = 1 to m do
+        for i = 1 to n do
+          match (unique_succ "X" gamma.(i - 1).(j), unique_succ "Y" gamma.(i).(j - 1)) with
+          | Some a, Some b when Structure.Element.equal a b -> gamma.(i).(j) <- a
+          | _ -> ok := false
+        done
+      done;
+      if not !ok then false
+      else begin
+        (* read the tiling off the labels *)
+        let f = Array.make_matrix (n + 1) (m + 1) "" in
+        for i = 0 to n do
+          for j = 0 to m do
+            match tiles_of p d gamma.(i).(j) with
+            | [ t ] -> f.(i).(j) <- t
+            | _ -> ok := false
+          done
+        done;
+        !ok && Tiling.valid p f
+        &&
+        (* closure: grid nodes have no stray X/Y edges *)
+        let in_grid x =
+          Array.exists (fun col -> Array.exists (Structure.Element.equal x) col) gamma
+        in
+        Array.for_all
+          (fun col ->
+            Array.for_all
+              (fun x ->
+                List.for_all in_grid (successor d "X" x)
+                && List.for_all in_grid (successor d "Y" x)
+                && functional "X" x && functional "Y" x)
+              col)
+          gamma
+      end)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4: simulating the run fitting problem on the grid             *)
+(* ------------------------------------------------------------------ *)
+
+(* Markers for states and tape symbols use (≥ 2 S) — "at least two
+   S-successors" — which inputs can preset positively but not
+   negatively, matching the run fitting problem where cells may be
+   constrained but never forbidden (Section 7). *)
+let geq2 r = C.AtLeast (2, C.Name r, C.Top)
+
+let sym_rel s = "Sym_" ^ s
+let state_rel q = "St_" ^ q
+
+(* Marker shifted along a word of X-steps (for reading neighbouring
+   cells within depth 2). *)
+let shifted_rel base = function
+  | 0 -> base
+  | k -> Printf.sprintf "%s_X%d" base k
+
+(* The Lemma 4 ontology O_M for machine [m], on top of the grid
+   verification O_P of a trivial tiling problem: grid columns carry tape
+   positions (X), rows carry time (Y). The accepting state triggers the
+   B1 ⊔ B2 disjunction. *)
+let ontology_m (m : Machine.t) =
+  let p = Tiling.trivial in
+  let cell_markers =
+    List.map sym_rel m.Machine.alphabet @ List.map state_rel m.Machine.states
+  in
+  let shifted =
+    List.concat_map (fun r -> [ shifted_rel r 1; shifted_rel r 2 ]) cell_markers
+  in
+  let base = ontology_p p in
+  let acc_marker = eq_one "Acc" in
+  (* every auxiliary relation is inhabited *)
+  base
+  @ exists_top (cell_markers @ shifted)
+  (* the run-verification marker (=1 Acc) spreads over the grid *)
+  @ [
+      Dl.Tbox.Sub (acc_marker, C.Forall (C.Name "X", acc_marker));
+      Dl.Tbox.Sub (acc_marker, C.Forall (C.Name "Y", acc_marker));
+    ]
+  (* every verified grid point carries exactly one cell content *)
+  @ [
+      Dl.Tbox.Sub
+        ( acc_marker,
+          C.disj (List.map geq2 cell_markers) );
+    ]
+  @ (let rec pairs = function
+       | [] -> []
+       | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+     in
+     List.map
+       (fun (h1, h2) ->
+         Dl.Tbox.Sub (C.conj [ acc_marker; geq2 h1; geq2 h2 ], C.Bot))
+       (pairs cell_markers))
+  (* marker bookkeeping: (≥2 S^Xk) ≡ ∃X.(≥2 S^X(k-1)) *)
+  @ List.concat_map
+      (fun r ->
+        Dl.Tbox.equivalence (geq2 (shifted_rel r 1)) (C.Exists (C.Name "X", geq2 r))
+        @ Dl.Tbox.equivalence
+            (geq2 (shifted_rel r 2))
+            (C.Exists (C.Name "X", geq2 (shifted_rel r 1))))
+      cell_markers
+  (* transitions: a window G0 q G1 at time t determines the possible
+     windows at time t+1 (via the Y-successor row) *)
+  @ (let successor_triples g0 q g1 =
+       (* the head reads g1; writing w and moving left/right yields the
+          windows below (state at position 0 for L, position 2 for R) *)
+       List.filter_map
+         (fun (tr : Machine.transition) ->
+           if tr.from_state = q && tr.read = g1 then
+             match tr.move with
+             | Machine.L -> Some (state_rel tr.to_state, sym_rel g0, sym_rel tr.write)
+             | Machine.R -> Some (sym_rel g0, sym_rel tr.write, state_rel tr.to_state)
+           else None)
+         m.Machine.delta
+     in
+     List.concat_map
+       (fun g0 ->
+         List.concat_map
+           (fun q ->
+             List.filter_map
+               (fun g1 ->
+                 match successor_triples g0 q g1 with
+                 | [] -> None
+                 | triples ->
+                     Some
+                       (Dl.Tbox.Sub
+                          ( C.conj
+                              [
+                                acc_marker;
+                                geq2 (sym_rel g0);
+                                geq2 (shifted_rel (state_rel q) 1);
+                                geq2 (shifted_rel (sym_rel g1) 2);
+                              ],
+                            C.disj
+                              (List.map
+                                 (fun (s1, s2, s3) ->
+                                   C.Exists
+                                     ( C.Name "Y",
+                                       C.conj
+                                         [
+                                           geq2 s1;
+                                           geq2 (shifted_rel s2 1);
+                                           geq2 (shifted_rel s3 2);
+                                         ] ))
+                                 triples) )))
+               m.Machine.alphabet)
+           m.Machine.states)
+       m.Machine.alphabet)
+  (* reaching the accepting state triggers the disjunction *)
+  @ [
+      Dl.Tbox.Sub
+        ( C.And (acc_marker, geq2 (state_rel m.Machine.accept)),
+          C.Or (C.Atomic "B1", C.Atomic "B2") );
+    ]

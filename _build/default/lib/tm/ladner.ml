@@ -1,0 +1,66 @@
+(* Scaffolding for the run-fitting variant of Ladner's theorem
+   (Theorem 12). The construction pads SAT instances to length n^H(n)
+   and diagonalises against an enumeration of polynomial-time machines:
+
+     H(n) = min { i < log log n |  M_i agrees with RF(M_H) on all
+                                   strings of length <= log n }
+            (or log log n when no such i exists).
+
+   At laptop scale we cannot run the true diagonalisation, but its
+   skeleton is executable: deciders are supplied as OCaml functions and
+   the reference language as an oracle, and H is computed literally by
+   the definition. Theorem 12's properties (H constant iff the oracle
+   language is decided by some enumerated machine on all tested lengths;
+   H unbounded otherwise) are exercised in the tests. *)
+
+type enumeration = int -> string -> bool
+(** [enumeration i] is the decider M{_i}. *)
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+(* All strings over [alphabet] of length <= l. *)
+let strings_up_to alphabet l =
+  let rec go l =
+    if l = 0 then [ "" ]
+    else
+      let shorter = go (l - 1) in
+      shorter
+      @ List.concat_map
+          (fun s ->
+            if String.length s = l - 1 then
+              List.map (fun c -> s ^ String.make 1 c) alphabet
+            else [])
+          shorter
+  in
+  go l
+
+(* H(n) per the definition, with [oracle] playing RF(M_H). *)
+let h_function ~(enumeration : enumeration) ~(oracle : string -> bool)
+    ?(alphabet = [ '0'; '1' ]) n =
+  let bound = ilog2 (max 1 (ilog2 (max 1 n))) in
+  let log_n = ilog2 (max 1 n) in
+  let test_strings = strings_up_to alphabet log_n in
+  let agrees i =
+    List.for_all (fun z -> Bool.equal (enumeration i z) (oracle z)) test_strings
+  in
+  let rec search i = if i >= bound then bound else if agrees i then i else search (i + 1) in
+  search 0
+
+(* The padded inputs 1^(n^h) on which MH simulates SAT (initialization
+   phase of the Theorem 12 machine). *)
+let padded_input_length ~h n =
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow n (max h 1)
+
+(* Is H eventually constant for this enumeration/oracle pair (sampled up
+   to [up_to])? Lemma 14: H is O(1) iff some enumerated machine decides
+   the oracle language. *)
+let eventually_constant ~enumeration ~oracle ?alphabet ~up_to () =
+  let values =
+    List.init up_to (fun n -> h_function ~enumeration ~oracle ?alphabet (n + 2))
+  in
+  match List.rev values with
+  | last :: _ -> List.for_all (fun v -> v = last) (List.filteri (fun i _ -> i >= up_to / 2) values)
+  | [] -> true

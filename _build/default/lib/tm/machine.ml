@@ -1,0 +1,125 @@
+(* Non-deterministic Turing machines with a single one-sided infinite
+   tape, represented as in Section 7: configurations are strings vqw
+   over Σ ∪ Q, with q the state and the head on the first symbol of w. *)
+
+type direction = L | R
+
+type transition = {
+  from_state : string;
+  read : string;
+  to_state : string;
+  write : string;
+  move : direction;
+}
+
+type t = {
+  name : string;
+  states : string list;
+  alphabet : string list;  (** includes the blank *)
+  blank : string;
+  delta : transition list;
+  start : string;
+  accept : string;
+}
+
+exception Bad_machine of string
+
+let make ~name ~states ~alphabet ~blank ~delta ~start ~accept =
+  let m = { name; states; alphabet; blank; delta; start; accept } in
+  if not (List.mem blank alphabet) then
+    raise (Bad_machine "blank symbol not in alphabet");
+  if not (List.mem start states && List.mem accept states) then
+    raise (Bad_machine "start/accept state not declared");
+  List.iter
+    (fun tr ->
+      if
+        not
+          (List.mem tr.from_state states
+          && List.mem tr.to_state states
+          && List.mem tr.read alphabet
+          && List.mem tr.write alphabet)
+      then raise (Bad_machine "transition uses undeclared state or symbol");
+      if tr.from_state = accept then
+        raise (Bad_machine "the accepting state must have no successors"))
+    m.delta;
+  m
+
+(* A configuration of fixed tape length: [tape] are the symbols, the
+   head is at [head], the machine in [state]. Corresponds to the string
+   tape[0..head-1] state tape[head..]. *)
+type config = {
+  tape : string array;
+  head : int;
+  state : string;
+}
+
+let config_length c = Array.length c.tape + 1
+
+let initial m input ~length =
+  let n = List.length input in
+  if length < n + 1 then invalid_arg "Machine.initial: tape too short";
+  {
+    tape = Array.init (length - 1) (fun i -> if i < n then List.nth input i else m.blank);
+    head = 0;
+    state = m.start;
+  }
+
+let is_accepting m c = c.state = m.accept
+
+(* One computation step; moves that would leave the fixed-length tape
+   are dropped (runs in the run fitting problem have uniform length). *)
+let successors m c =
+  if c.head >= Array.length c.tape then []
+  else
+    let sym = c.tape.(c.head) in
+    List.filter_map
+      (fun tr ->
+        if tr.from_state = c.state && tr.read = sym then begin
+          let tape = Array.copy c.tape in
+          tape.(c.head) <- tr.write;
+          let head = match tr.move with L -> c.head - 1 | R -> c.head + 1 in
+          if head < 0 || head > Array.length tape then None
+          else Some { tape; head; state = tr.to_state }
+        end
+        else None)
+      m.delta
+
+let pp_config ppf c =
+  let parts =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) c.tape)
+    |> List.concat_map (fun (i, s) -> if i = c.head then [ c.state; s ] else [ s ])
+  in
+  let parts = if c.head >= Array.length c.tape then parts @ [ c.state ] else parts in
+  Fmt.(list ~sep:(any "") string) ppf parts
+
+(* ------------------------------------------------------------------ *)
+(* Sample machines                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Accepts words over {a,b} containing an 'a': scans right. *)
+let find_a =
+  make ~name:"find_a"
+    ~states:[ "q0"; "qa" ]
+    ~alphabet:[ "a"; "b"; "_" ]
+    ~blank:"_"
+    ~delta:
+      [
+        { from_state = "q0"; read = "b"; to_state = "q0"; write = "b"; move = R };
+        { from_state = "q0"; read = "a"; to_state = "qa"; write = "a"; move = R };
+      ]
+    ~start:"q0" ~accept:"qa"
+
+(* A non-deterministic machine guessing a bit and verifying parity. *)
+let guess_parity =
+  make ~name:"guess_parity"
+    ~states:[ "q0"; "even"; "odd"; "qa" ]
+    ~alphabet:[ "1"; "_" ]
+    ~blank:"_"
+    ~delta:
+      [
+        { from_state = "q0"; read = "1"; to_state = "odd"; write = "1"; move = R };
+        { from_state = "odd"; read = "1"; to_state = "even"; write = "1"; move = R };
+        { from_state = "even"; read = "1"; to_state = "odd"; write = "1"; move = R };
+        { from_state = "even"; read = "_"; to_state = "qa"; write = "_"; move = R };
+      ]
+    ~start:"q0" ~accept:"qa"

@@ -1,0 +1,122 @@
+(* The finite rectangle tiling problem (Section 7 / Appendix H): tile
+   types with horizontal and vertical matching relations, an initial
+   tile for the lower-left corner and a final tile for the upper-right
+   corner. Undecidable in general; solved here by bounded search. *)
+
+type t = {
+  tiles : string list;
+  h : (string * string) list;  (** horizontal matching *)
+  v : (string * string) list;  (** vertical matching *)
+  init : string;
+  final : string;
+}
+
+exception Bad_problem of string
+
+let make ~tiles ~h ~v ~init ~final =
+  let p = { tiles; h; v; init; final } in
+  if not (List.mem init tiles && List.mem final tiles) then
+    raise (Bad_problem "init/final tile not declared");
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem a tiles && List.mem b tiles) then
+        raise (Bad_problem "matching relation uses undeclared tile"))
+    (h @ v);
+  p
+
+(* A tiling of {0..n} × {0..m} as a matrix f.(i).(j), i.e. column i,
+   row j. *)
+type tiling = string array array
+
+let valid p (f : tiling) =
+  let n = Array.length f - 1 in
+  let m = Array.length f.(0) - 1 in
+  let ok = ref (f.(0).(0) = p.init && f.(n).(m) = p.final) in
+  for i = 0 to n do
+    for j = 0 to m do
+      let t = f.(i).(j) in
+      if t = p.init && (i, j) <> (0, 0) then ok := false;
+      if t = p.final && (i, j) <> (n, m) then ok := false;
+      if i < n && not (List.mem (t, f.(i + 1).(j)) p.h) then ok := false;
+      if j < m && not (List.mem (t, f.(i).(j + 1)) p.v) then ok := false
+    done
+  done;
+  !ok
+
+(* Backtracking search for a tiling of a fixed (n+1) × (m+1) rectangle. *)
+let solve_fixed p n m =
+  let f = Array.make_matrix (n + 1) (m + 1) "" in
+  let allowed i j t =
+    (if (i, j) = (0, 0) then t = p.init else t <> p.init)
+    && (if (i, j) = (n, m) then t = p.final else t <> p.final)
+    && (i = 0 || List.mem (f.(i - 1).(j), t) p.h)
+    && (j = 0 || List.mem (f.(i).(j - 1), t) p.v)
+  in
+  (* fill column-major within rows: position k = j * (n+1) + i *)
+  let total = (n + 1) * (m + 1) in
+  let rec go k =
+    if k = total then true
+    else
+      let i = k mod (n + 1) and j = k / (n + 1) in
+      List.exists
+        (fun t ->
+          if allowed i j t then begin
+            f.(i).(j) <- t;
+            go (k + 1) || (f.(i).(j) <- "";
+                           false)
+          end
+          else false)
+        p.tiles
+  in
+  if go 0 then Some (Array.map Array.copy f) else None
+
+(* Search all rectangles with both sides <= the bounds. *)
+let solve ?(max_n = 4) ?(max_m = 4) p =
+  let rec over_n n =
+    if n > max_n then None
+    else
+      let rec over_m m =
+        if m > max_m then None
+        else
+          match solve_fixed p n m with
+          | Some f -> Some f
+          | None -> over_m (m + 1)
+      in
+      match over_m 0 with Some f -> Some f | None -> over_n (n + 1)
+  in
+  over_n 0
+
+let admits_tiling ?max_n ?max_m p = Option.is_some (solve ?max_n ?max_m p)
+
+(* The grid instance representing a tiled rectangle: X/Y edges and tile
+   labels (the input encoding of Theorem 10). *)
+let grid_instance (f : tiling) =
+  let n = Array.length f - 1 in
+  let m = Array.length f.(0) - 1 in
+  let node i j = Structure.Element.Const (Printf.sprintf "g_%d_%d" i j) in
+  let inst = ref Structure.Instance.empty in
+  for i = 0 to n do
+    for j = 0 to m do
+      inst := Structure.Instance.add_fact (Structure.Instance.fact f.(i).(j) [ node i j ]) !inst;
+      if i < n then
+        inst := Structure.Instance.add_fact (Structure.Instance.fact "X" [ node i j; node (i + 1) j ]) !inst;
+      if j < m then
+        inst := Structure.Instance.add_fact (Structure.Instance.fact "Y" [ node i j; node i (j + 1) ]) !inst
+    done
+  done;
+  !inst
+
+(* A trivial solvable problem (used by Lemma 4) and an unsolvable one. *)
+let trivial =
+  make
+    ~tiles:[ "I"; "B"; "F" ]
+    ~h:[ ("I", "B"); ("B", "B"); ("B", "F"); ("I", "F") ]
+    ~v:[ ("I", "B"); ("B", "B"); ("B", "F"); ("I", "F") ]
+    ~init:"I" ~final:"F"
+
+let unsolvable =
+  (* the final tile can never be placed next to anything *)
+  make ~tiles:[ "I"; "B"; "F" ]
+    ~h:[ ("I", "B"); ("B", "B") ]
+    ~v:[ ("I", "B"); ("B", "B") ]
+    ~init:"I" ~final:"F"

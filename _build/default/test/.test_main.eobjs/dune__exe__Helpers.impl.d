@@ -1,0 +1,1 @@
+test/helpers.ml: Dl List Logic Query Structure

@@ -1,0 +1,1 @@
+test/test_bioportal.ml: Alcotest Bioportal Classify Dl List

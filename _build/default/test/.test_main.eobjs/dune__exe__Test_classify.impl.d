@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Dl Fmt Helpers List Structure

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Bool Csp Gf Helpers List Logic QCheck QCheck_alcotest Random Reasoner Structure

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog Helpers List Logic Printf QCheck QCheck_alcotest Random Structure

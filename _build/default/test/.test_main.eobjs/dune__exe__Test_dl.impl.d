@@ -1,0 +1,1 @@
+test/test_dl.ml: Alcotest Bool Dl Gf Helpers List Logic QCheck QCheck_alcotest Random Reasoner Structure

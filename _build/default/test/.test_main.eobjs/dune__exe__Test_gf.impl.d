@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Gf Helpers List Logic Reasoner

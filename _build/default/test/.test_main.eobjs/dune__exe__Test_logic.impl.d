@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Helpers List Logic Random Structure

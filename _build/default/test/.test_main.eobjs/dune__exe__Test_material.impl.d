@@ -1,0 +1,1 @@
+test/test_material.ml: Alcotest Helpers List Logic Material Option Reasoner Structure

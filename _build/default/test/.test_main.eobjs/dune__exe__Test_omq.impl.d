@@ -1,0 +1,1 @@
+test/test_omq.ml: Alcotest Classify Gf Helpers List Omq

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bool Csp Gf Helpers List Logic Material QCheck QCheck_alcotest Random Reasoner Structure

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Bool Helpers List Logic QCheck QCheck_alcotest Query Random Structure

@@ -1,0 +1,1 @@
+test/test_reasoner.ml: Alcotest Array Bool Helpers List Logic QCheck QCheck_alcotest Query Random Reasoner Structure

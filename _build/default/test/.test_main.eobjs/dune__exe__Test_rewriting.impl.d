@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Helpers List Logic Printf Reasoner Rewriting Structure

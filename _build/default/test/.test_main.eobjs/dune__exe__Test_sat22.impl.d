@@ -1,0 +1,1 @@
+test/test_sat22.ml: Alcotest Bool Helpers List Logic Option QCheck QCheck_alcotest Random Sat22 Structure

@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Helpers List Logic Option QCheck QCheck_alcotest Random Structure

@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Dl Gf Helpers List Logic Option Printf Reasoner String Structure Tm

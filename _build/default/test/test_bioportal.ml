@@ -1,0 +1,48 @@
+let check = Alcotest.(check bool)
+
+let test_corpus_deterministic () =
+  let c1 = Bioportal.Generate.corpus ~seed:5 ~n:20 () in
+  let c2 = Bioportal.Generate.corpus ~seed:5 ~n:20 () in
+  check "same seed, same corpus" true (c1 = c2);
+  let c3 = Bioportal.Generate.corpus ~seed:6 ~n:20 () in
+  check "different seed differs" true (c1 <> c3)
+
+let test_strip_alchif () =
+  let c =
+    Dl.Concept.AtLeast (3, Dl.Concept.Name "r", Dl.Concept.Atomic "A")
+  in
+  let stripped = Bioportal.Analyze.to_alchif c in
+  check "no Q left" false (Dl.Concept.uses_q stripped);
+  let keep = Dl.Concept.leq_one (Dl.Concept.Name "r") in
+  check "local functionality kept" true
+    (Dl.Concept.equal keep (Bioportal.Analyze.to_alchif keep))
+
+let test_table_shape () =
+  (* The corpus reproduces the paper's proportions: almost everything in
+     ALCHIF depth <= 2, the vast majority in ALCHIQ depth 1. *)
+  let corpus = Bioportal.Generate.corpus () in
+  Alcotest.(check int) "411 ontologies" 411 (List.length corpus);
+  let table =
+    Bioportal.Analyze.tabulate (List.map Bioportal.Analyze.analyze corpus)
+  in
+  let _, paper_alchif, paper_alchiq = Bioportal.Analyze.paper_reference in
+  check "ALCHIF depth 2 close to the paper" true
+    (abs (table.Bioportal.Analyze.in_alchif_depth2 - paper_alchif) <= 8);
+  check "ALCHIQ depth 1 close to the paper" true
+    (abs (table.Bioportal.Analyze.in_alchiq_depth1 - paper_alchiq) <= 15);
+  check "a handful deeper" true (table.Bioportal.Analyze.deeper <= 10)
+
+let test_analyze_fields () =
+  let t = Dl.Parser.parse_tbox "A << exists r . B" in
+  let r = Bioportal.Analyze.analyze t in
+  check "depth 1 in ALCHIQ" true r.Bioportal.Analyze.alchiq_depth1;
+  check "dichotomy" true
+    (r.Bioportal.Analyze.status = Classify.Landscape.Dichotomy)
+
+let suite =
+  [
+    Alcotest.test_case "corpus_deterministic" `Quick test_corpus_deterministic;
+    Alcotest.test_case "strip_alchif" `Quick test_strip_alchif;
+    Alcotest.test_case "table_shape" `Quick test_table_shape;
+    Alcotest.test_case "analyze_fields" `Quick test_analyze_fields;
+  ]

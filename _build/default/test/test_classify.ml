@@ -1,0 +1,62 @@
+open Helpers
+
+let check = Alcotest.(check bool)
+
+let test_figure1 () =
+  (* Figure 1 regenerates exactly. *)
+  List.iter
+    (fun (name, (ev : Classify.Landscape.evidence), expected) ->
+      Alcotest.(check string)
+        name
+        (Fmt.str "%a" Classify.Landscape.pp_status expected)
+        (Fmt.str "%a" Classify.Landscape.pp_status ev.status))
+    Classify.Landscape.figure1
+
+let test_classify_concrete () =
+  (* The hand ontologies are uGC−2(1): dichotomy fragment. *)
+  let ev = Classify.Landscape.of_ontology o_hand_union in
+  check "hand union in a dichotomy fragment" true
+    (ev.Classify.Landscape.status = Classify.Landscape.Dichotomy);
+  (* OMat/PTime is outside GF's uGF fragment: classified at GF level *)
+  let ev2 = Classify.Landscape.of_ontology o_mat_ptime in
+  check "OMat classified at GF level" true
+    (ev2.Classify.Landscape.status = Classify.Landscape.Csp_hard)
+
+let test_classify_tbox () =
+  let t = Dl.Parser.parse_tbox "A << exists R . (exists S . (exists T . B))" in
+  let ev = Classify.Landscape.of_tbox t in
+  (* depth 3 ALC: CSP-hard by [42] *)
+  check "ALC depth 3 CSP-hard" true
+    (ev.Classify.Landscape.status = Classify.Landscape.Csp_hard)
+
+let test_decide_ptime () =
+  (* O2 alone: PTIME (Theorem 13 positive side). *)
+  match Classify.Decide.decide ~samples:3 ~max_outdegree:3 o_hand_thumb with
+  | Classify.Decide.Ptime_evidence n -> check "bouquets checked" true (n > 0)
+  | Classify.Decide.Conp_hard w ->
+      Alcotest.failf "unexpected witness %s" (Fmt.str "%a" Structure.Instance.pp w)
+
+let test_decide_conp () =
+  (* O1 ∪ O2: coNP-hard with the five-finger bouquet as witness. *)
+  match
+    Classify.Decide.decide ~samples:0 ~max_outdegree:5 ~verify_extra:4
+      o_hand_union
+  with
+  | Classify.Decide.Conp_hard w ->
+      check "witness has a hand" true
+        (List.exists
+           (fun (f : Structure.Instance.fact) -> f.rel = "Hand")
+           (Structure.Instance.facts w));
+      Alcotest.(check int) "six elements (hand + five fingers)" 6
+        (Structure.Instance.domain_size w)
+  | Classify.Decide.Ptime_evidence _ ->
+      Alcotest.fail "expected a coNP-hardness witness"
+
+let suite =
+  [
+    Alcotest.test_case "figure1" `Quick test_figure1;
+    Alcotest.test_case "classify_concrete" `Quick test_classify_concrete;
+    Alcotest.test_case "classify_tbox" `Quick test_classify_tbox;
+    Alcotest.test_case "decide_ptime" `Quick test_decide_ptime;
+    Alcotest.test_case "decide_conp" `Slow test_decide_conp;
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+module F = Logic.Formula
+
+let check = Alcotest.(check bool)
+
+let test_free_vars () =
+  let f = F.Forall ([ "x" ], F.Implies (atom "R" [ v "x"; v "y" ], atom "A" [ v "x" ])) in
+  check "y free" true (Logic.Names.SSet.mem "y" (F.free_vars f));
+  check "x bound" false (Logic.Names.SSet.mem "x" (F.free_vars f))
+
+let test_smart_constructors () =
+  check "conj empty" true (F.equal (F.conj []) F.True);
+  check "conj unit" true (F.equal (F.conj2 F.True (atom "A" [ v "x" ])) (atom "A" [ v "x" ]));
+  check "disj false" true (F.equal (F.disj2 F.False (atom "A" [ v "x" ])) (atom "A" [ v "x" ]));
+  check "implies true" true (F.equal (F.implies F.True (atom "A" [ v "x" ])) (atom "A" [ v "x" ]));
+  check "neg neg" true (F.equal (F.neg (F.neg (atom "A" [ v "x" ]))) (atom "A" [ v "x" ]))
+
+let test_nnf_semantics () =
+  (* NNF preserves truth on random small structures. *)
+  let signature = Logic.Signature.of_list [ ("A", 1); ("R", 2) ] in
+  let rng = Random.State.make [| 42 |] in
+  let formulas =
+    [
+      F.Not (F.Exists ([ "y" ], F.And (atom "R" [ v "x"; v "y" ], atom "A" [ v "y" ])));
+      F.Not (F.And (atom "A" [ v "x" ], F.Not (atom "A" [ v "x" ])));
+      F.Implies (atom "A" [ v "x" ], F.Not (F.Forall ([ "y" ], F.Implies (atom "R" [ v "x"; v "y" ], atom "A" [ v "y" ]))));
+    ]
+  in
+  for _ = 1 to 25 do
+    let i = Structure.Randgen.instance ~rng ~signature ~size:3 ~p:0.4 in
+    Structure.Element.Set.iter
+      (fun el ->
+        let env = Structure.Modelcheck.env_of_list [ ("x", el) ] in
+        List.iter
+          (fun f ->
+            check "nnf agrees"
+              (Structure.Modelcheck.eval i env f)
+              (Structure.Modelcheck.eval i env (F.nnf f)))
+          formulas)
+      (Structure.Instance.domain i)
+  done
+
+let test_subst_capture () =
+  (* Substituting y for x under a binder for y must rename the binder. *)
+  let f = F.Exists ([ "y" ], F.And (atom "R" [ v "x"; v "y" ], atom "A" [ v "y" ])) in
+  let g = Logic.Subst.apply (Logic.Subst.singleton "x" (v "y")) f in
+  (* y must remain free in g *)
+  check "y free after subst" true (Logic.Names.SSet.mem "y" (F.free_vars g));
+  (* and the bound variable is renamed, so the formula is satisfiable
+     where R(y, z) with z <> y *)
+  let i = inst [ ("R", [ "a"; "b" ]); ("A", [ "b" ]) ] in
+  let env = Structure.Modelcheck.env_of_list [ ("y", e "a") ] in
+  check "semantics" true (Structure.Modelcheck.eval i env g)
+
+let test_signature () =
+  let f = F.And (atom "R" [ v "x"; v "y" ], atom "A" [ v "x" ]) in
+  let s = Logic.Signature.of_formula f in
+  Alcotest.(check (option int)) "R/2" (Some 2) (Logic.Signature.arity "R" s);
+  Alcotest.(check (option int)) "A/1" (Some 1) (Logic.Signature.arity "A" s);
+  check "mismatch raises" true
+    (try
+       ignore (Logic.Signature.add "R" 3 s);
+       false
+     with Logic.Signature.Arity_mismatch _ -> true)
+
+let test_ontology_functionality () =
+  let o = Logic.Ontology.make ~functional:[ "F" ] [] in
+  let ax = Logic.Ontology.all_sentences o in
+  Alcotest.(check int) "one axiom" 1 (List.length ax);
+  let i_ok = inst [ ("F", [ "a"; "b" ]) ] in
+  let i_bad = inst [ ("F", [ "a"; "b" ]); ("F", [ "a"; "c" ]) ] in
+  check "function ok" true (Structure.Modelcheck.is_model i_ok ax);
+  check "function violated" false (Structure.Modelcheck.is_model i_bad ax)
+
+let suite =
+  [
+    Alcotest.test_case "free_vars" `Quick test_free_vars;
+    Alcotest.test_case "smart_constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "nnf_semantics" `Quick test_nnf_semantics;
+    Alcotest.test_case "subst_capture" `Quick test_subst_capture;
+    Alcotest.test_case "signature" `Quick test_signature;
+    Alcotest.test_case "functionality_axiom" `Quick test_ontology_functionality;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "omq-guarded"
+    [
+      ("logic", Test_logic.suite);
+      ("structure", Test_structure.suite);
+      ("gf", Test_gf.suite);
+      ("query", Test_query.suite);
+      ("dl", Test_dl.suite);
+      ("reasoner", Test_reasoner.suite);
+      ("datalog", Test_datalog.suite);
+      ("material", Test_material.suite);
+      ("csp", Test_csp.suite);
+      ("sat22", Test_sat22.suite);
+      ("tm", Test_tm.suite);
+      ("rewriting", Test_rewriting.suite);
+      ("classify", Test_classify.suite);
+      ("bioportal", Test_bioportal.suite);
+      ("omq", Test_omq.suite);
+      ("properties", Test_properties.suite);
+    ]

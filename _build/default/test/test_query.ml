@@ -1,0 +1,148 @@
+open Helpers
+module F = Logic.Formula
+
+let check = Alcotest.(check bool)
+
+let triangle = inst [ ("R", [ "a"; "b" ]); ("R", [ "b"; "c" ]); ("R", [ "c"; "a" ]) ]
+
+let test_cq_eval () =
+  let q = cq ~answer:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]) ] in
+  let ans = Query.Cq.answers triangle q in
+  Alcotest.(check int) "all three answer" 3 (List.length ans);
+  check "a answers" true (Query.Cq.holds triangle q [ e "a" ])
+
+let test_cq_constants () =
+  let q = cq ~answer:[ "x" ] [ ("R", [ v "x"; c "b" ]) ] in
+  let ans = Query.Cq.answers triangle q in
+  Alcotest.(check int) "only a" 1 (List.length ans);
+  check "a" true (Query.Cq.holds triangle q [ e "a" ])
+
+let test_cq_vs_modelcheck =
+  QCheck.Test.make ~name:"cq evaluation agrees with FO semantics" ~count:40
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let signature = Logic.Signature.of_list [ ("R", 2); ("A", 1) ] in
+      let rng = Random.State.make [| seed |] in
+      let i = Structure.Randgen.instance ~rng ~signature ~size:3 ~p:0.4 in
+      let q =
+        cq ~answer:[ "x" ]
+          [ ("R", [ v "x"; v "y" ]); ("A", [ v "y" ]) ]
+      in
+      let f = Query.Cq.to_formula q in
+      Structure.Element.Set.for_all
+        (fun el ->
+          let env = Structure.Modelcheck.env_of_list [ ("x", el) ] in
+          Bool.equal
+            (Query.Cq.holds i q [ el ])
+            (Structure.Modelcheck.eval i env f))
+        (Structure.Instance.domain i))
+
+let test_boolean_cq () =
+  let q = cq ~answer:[] [ ("R", [ v "x"; v "x" ]) ] in
+  check "no loop" false (Query.Cq.holds_boolean triangle q);
+  let with_loop = Structure.Instance.add_fact (Structure.Instance.fact "R" [ e "d"; e "d" ]) triangle in
+  check "loop found" true (Query.Cq.holds_boolean with_loop q)
+
+let test_raq_example4 () =
+  (* Example 4: q(x) ← R(x,y) ∧ R(y,z) ∧ R(z,x) is not an rAQ; adding
+     Q(x,y,z) makes it one. *)
+  let q1 =
+    cq ~answer:[ "x" ]
+      [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "z" ]); ("R", [ v "z"; v "x" ]) ]
+  in
+  check "triangle not rAQ" false (Query.Cq.is_raq q1);
+  let q2 =
+    cq ~answer:[ "x" ]
+      [
+        ("R", [ v "x"; v "y" ]);
+        ("R", [ v "y"; v "z" ]);
+        ("R", [ v "z"; v "x" ]);
+        ("Q", [ v "x"; v "y"; v "z" ]);
+      ]
+  in
+  check "guarded triangle is rAQ" true (Query.Cq.is_raq q2)
+
+let test_raq_path () =
+  let q = Query.Raq.path_query "R" 2 ~ending:(Some "A") in
+  check "path query is rAQ" true (Query.Cq.is_raq q);
+  check "boolean not rAQ" false
+    (Query.Cq.is_raq (cq ~answer:[] [ ("A", [ v "x" ]) ]))
+
+let test_ucq () =
+  let qa = cq ~name:"qa" ~answer:[ "x" ] [ ("A", [ v "x" ]) ] in
+  let qb = cq ~name:"qb" ~answer:[ "x" ] [ ("B", [ v "x" ]) ] in
+  let u = ucq [ qa; qb ] in
+  let i = inst [ ("A", [ "a" ]); ("B", [ "b" ]) ] in
+  Alcotest.(check int) "two answers" 2 (List.length (Query.Ucq.answers i u));
+  check "arity mismatch rejected" true
+    (try
+       ignore (ucq [ qa; cq ~answer:[] [ ("A", [ v "x" ]) ] ]);
+       false
+     with Query.Ucq.Ill_formed _ -> true)
+
+let test_of_instance () =
+  let path = inst [ ("R", [ "a"; "b" ]); ("R", [ "b"; "c" ]) ] in
+  match Query.Raq.of_instance path ~answer:[ e "a" ] with
+  | None -> Alcotest.fail "path should give an rAQ"
+  | Some q ->
+      check "is raq" true (Query.Cq.is_raq q);
+      check "holds on itself" true (Query.Cq.holds path q [ e "a" ])
+
+let suite =
+  [
+    Alcotest.test_case "cq_eval" `Quick test_cq_eval;
+    Alcotest.test_case "cq_constants" `Quick test_cq_constants;
+    QCheck_alcotest.to_alcotest test_cq_vs_modelcheck;
+    Alcotest.test_case "boolean_cq" `Quick test_boolean_cq;
+    Alcotest.test_case "raq_example4" `Quick test_raq_example4;
+    Alcotest.test_case "raq_path" `Quick test_raq_path;
+    Alcotest.test_case "ucq" `Quick test_ucq;
+    Alcotest.test_case "of_instance" `Quick test_of_instance;
+  ]
+
+let test_parse_cq () =
+  let q = Query.Parse.cq_of_string "q(x) <- R(x,y), A(y), S(y, 'c1')" in
+  Alcotest.(check int) "arity" 1 (Query.Cq.arity q);
+  Alcotest.(check int) "atoms" 3 (List.length q.Query.Cq.atoms);
+  check "constant parsed" true
+    (List.exists
+       (fun (_, ts) -> List.exists (fun t -> t = Logic.Term.Const "c1") ts)
+       q.Query.Cq.atoms);
+  (* Boolean query: bare head *)
+  let qb = Query.Parse.cq_of_string "q <- E(x)" in
+  check "boolean" true (Query.Cq.is_boolean qb);
+  (* capitalised arguments are constants *)
+  let qc = Query.Parse.cq_of_string "q(x) <- R(x, Amsterdam)" in
+  check "capitalised constant" true
+    (List.exists
+       (fun (_, ts) -> List.mem (Logic.Term.Const "Amsterdam") ts)
+       qc.Query.Cq.atoms)
+
+let test_parse_ucq () =
+  let u = Query.Parse.ucq_of_string "q(x) <- A(x) | q(x) <- B(x)" in
+  Alcotest.(check int) "two disjuncts" 2 (List.length (Query.Ucq.disjuncts u));
+  check "parse error raised" true
+    (try
+       ignore (Query.Parse.cq_of_string "q(x) R(x,y)");
+       false
+     with Query.Parse.Parse_error _ -> true)
+
+let test_parse_instance () =
+  let d =
+    Structure.Parse.instance_of_string
+      "R(a, b).\n# comment line\nA(a)  # trailing comment\n\nB(c)."
+  in
+  Alcotest.(check int) "three facts" 3 (Structure.Instance.cardinal d);
+  check "bad fact raises" true
+    (try
+       ignore (Structure.Parse.instance_of_string "nonsense");
+       false
+     with Structure.Parse.Parse_error _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parse_cq" `Quick test_parse_cq;
+      Alcotest.test_case "parse_ucq" `Quick test_parse_ucq;
+      Alcotest.test_case "parse_instance" `Quick test_parse_instance;
+    ]

@@ -1,0 +1,215 @@
+open Helpers
+module F = Logic.Formula
+
+let check = Alcotest.(check bool)
+
+(* ---------------------------------------------------------------- *)
+(* DPLL                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let test_dpll_basic () =
+  check "sat" true
+    (match Reasoner.Dpll.solve ~nvars:2 [ [ 1; 2 ]; [ -1 ] ] with
+    | Reasoner.Dpll.Sat m -> (not m.(0)) && m.(1)
+    | Reasoner.Dpll.Unsat -> false);
+  check "unsat" true
+    (Reasoner.Dpll.solve ~nvars:1 [ [ 1 ]; [ -1 ] ] = Reasoner.Dpll.Unsat);
+  check "empty clause" true
+    (Reasoner.Dpll.solve ~nvars:1 [ [] ] = Reasoner.Dpll.Unsat)
+
+let test_dpll_enumerate () =
+  (* x1 ∨ x2 has three models. *)
+  let ms = Reasoner.Dpll.enumerate ~nvars:2 ~project:[ 1; 2 ] [ [ 1; 2 ] ] in
+  Alcotest.(check int) "three models" 3 (List.length ms)
+
+let test_dpll_vs_brute =
+  QCheck.Test.make ~name:"dpll agrees with brute force" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 1 4))
+    (fun (seed, nvars) ->
+      let rng = Random.State.make [| seed |] in
+      let nclauses = 1 + Random.State.int rng 8 in
+      let clause () =
+        let len = 1 + Random.State.int rng 3 in
+        List.init len (fun _ ->
+            let v = 1 + Random.State.int rng nvars in
+            if Random.State.bool rng then v else -v)
+      in
+      let clauses = List.init nclauses (fun _ -> clause ()) in
+      let brute_sat =
+        let rec assignments n =
+          if n = 0 then [ [] ]
+          else
+            List.concat_map
+              (fun a -> [ true :: a; false :: a ])
+              (assignments (n - 1))
+        in
+        List.exists
+          (fun a ->
+            let arr = Array.of_list a in
+            List.for_all
+              (List.exists (fun l ->
+                   if l > 0 then arr.(l - 1) else not arr.(-l - 1)))
+              clauses)
+          (assignments nvars)
+      in
+      Bool.equal brute_sat
+        (match Reasoner.Dpll.solve ~nvars clauses with
+        | Reasoner.Dpll.Sat _ -> true
+        | Reasoner.Dpll.Unsat -> false))
+
+(* ---------------------------------------------------------------- *)
+(* Bounded model finding                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_consistency () =
+  (* ∀x (D(x) → A(x) ∨ B(x)) with D(a): consistent. *)
+  check "disj consistent" true
+    (Reasoner.Bounded.is_consistent o_disj (inst [ ("D", [ "a" ]) ]));
+  (* A ⊓ ¬A: inconsistent. *)
+  let contradiction =
+    Logic.Ontology.make
+      [ forall_eq "x" (F.Implies (atom "D" [ v "x" ], F.And (atom "A" [ v "x" ], F.Not (atom "A" [ v "x" ])))) ]
+  in
+  check "contradiction" false
+    (Reasoner.Bounded.is_consistent contradiction (inst [ ("D", [ "a" ]) ]))
+
+let test_certain_disjunctive () =
+  (* O = D ⊑ A ⊔ B, D = {D(a)}: A(a) ∨ B(a) is certain, neither disjunct is. *)
+  let d = inst [ ("D", [ "a" ]) ] in
+  let qa = cq ~answer:[ "x" ] [ ("A", [ v "x" ]) ] in
+  let qb = cq ~answer:[ "x" ] [ ("B", [ v "x" ]) ] in
+  check "A or B certain" true
+    (Reasoner.Bounded.certain_disjunction o_disj d [ (qa, [ e "a" ]); (qb, [ e "a" ]) ]);
+  check "A not certain" false (Reasoner.Bounded.certain_cq o_disj d qa [ e "a" ]);
+  check "B not certain" false (Reasoner.Bounded.certain_cq o_disj d qb [ e "a" ]);
+  check "UCQ A|B certain" true
+    (Reasoner.Bounded.certain_ucq o_disj d (ucq [ qa; qb ]) [ e "a" ])
+
+let test_certain_horn () =
+  (* o_horn: A(a) entails ∃y R(a,y) ∧ B(y), hence C(a). *)
+  let d = inst [ ("A", [ "a" ]) ] in
+  let qc = cq ~answer:[ "x" ] [ ("C", [ v "x" ]) ] in
+  let qrb = cq ~answer:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ] in
+  check "R.B certain" true (Reasoner.Bounded.certain_cq ~max_extra:2 o_horn d qrb [ e "a" ]);
+  check "C certain" true (Reasoner.Bounded.certain_cq ~max_extra:2 o_horn d qc [ e "a" ]);
+  let qb = cq ~answer:[ "x" ] [ ("B", [ v "x" ]) ] in
+  check "B(a) not certain" false (Reasoner.Bounded.certain_cq o_horn d qb [ e "a" ])
+
+let test_hand_finger () =
+  (* Section 1's example: O1 ∪ O2 over a hand with five fingers forces a
+     thumb among them, but no particular finger is a thumb. *)
+  let fingers = [ "f1"; "f2"; "f3"; "f4"; "f5" ] in
+  let d =
+    inst (("Hand", [ "h" ]) :: List.map (fun f -> ("hasFinger", [ "h"; f ])) fingers)
+  in
+  let qt = cq ~answer:[ "x" ] [ ("Thumb", [ v "x" ]) ] in
+  (* with O2 alone: thumb is certain only as an existential *)
+  let q_has_thumb =
+    cq ~answer:[ "x" ] [ ("hasFinger", [ v "x"; v "y" ]); ("Thumb", [ v "y" ]) ]
+  in
+  check "O2: hand has a thumb finger" true
+    (Reasoner.Bounded.certain_cq ~max_extra:1 o_hand_thumb d q_has_thumb [ e "h" ]);
+  check "O2: f1 need not be a thumb" false
+    (Reasoner.Bounded.certain_cq o_hand_thumb d qt [ e "f1" ]);
+  (* with the union: the five named fingers are all the fingers, so one
+     of them must be the thumb — a certain disjunction with no certain
+     disjunct (non-materializability). *)
+  let pointed = List.map (fun f -> (qt, [ e f ])) fingers in
+  check "union: disjunction certain" true
+    (Reasoner.Bounded.certain_disjunction ~max_extra:1 o_hand_union d pointed);
+  check "union: f1 thumb not certain" false
+    (Reasoner.Bounded.certain_cq ~max_extra:1 o_hand_union d qt [ e "f1" ]);
+  (* with O1 ∪ O2 but only 4 named fingers, the thumb may be the fifth *)
+  let d4 =
+    inst
+      (("Hand", [ "h" ])
+      :: List.map (fun f -> ("hasFinger", [ "h"; f ])) [ "f1"; "f2"; "f3"; "f4" ])
+  in
+  check "4 fingers: disjunction not certain" false
+    (Reasoner.Bounded.certain_disjunction ~max_extra:1 o_hand_union d4
+       (List.map (fun f -> (qt, [ e f ])) [ "f1"; "f2"; "f3"; "f4" ]))
+
+let test_countermodel_is_model () =
+  let d = inst [ ("D", [ "a" ]) ] in
+  let qa = cq ~answer:[ "x" ] [ ("A", [ v "x" ]) ] in
+  match Reasoner.Bounded.countermodel o_disj d (ucq [ qa ]) [ e "a" ] with
+  | None -> Alcotest.fail "expected a countermodel"
+  | Some m ->
+      check "contains D" true (Structure.Instance.subset d m);
+      check "is model of O" true
+        (Structure.Modelcheck.is_model m (Logic.Ontology.all_sentences o_disj));
+      check "refutes query" false (Query.Cq.holds m qa [ e "a" ])
+
+(* ---------------------------------------------------------------- *)
+(* Chase                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let horn_rules =
+  [
+    Reasoner.Chase.rule ~name:"exists"
+      ~body:[ ("A", [ v "x" ]) ]
+      ~head:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ();
+    Reasoner.Chase.rule ~name:"propagate"
+      ~body:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ~head:[ ("C", [ v "x" ]) ]
+      ();
+  ]
+
+let test_chase_horn () =
+  let d = inst [ ("A", [ "a" ]) ] in
+  let r = Reasoner.Chase.run horn_rules d in
+  check "saturated" true r.saturated;
+  let qc = cq ~answer:[ "x" ] [ ("C", [ v "x" ]) ] in
+  check "C derived" true (Query.Cq.holds r.instance qc [ e "a" ]);
+  (* chase result is a model of the rules: the bounded engine agrees *)
+  check "agrees with bounded engine" true
+    (Reasoner.Bounded.certain_cq ~max_extra:2 o_horn d qc [ e "a" ])
+
+let test_chase_restricted () =
+  (* If the head is already satisfied, the chase adds nothing. *)
+  let d = inst [ ("A", [ "a" ]); ("R", [ "a"; "b" ]); ("B", [ "b" ]) ] in
+  let r = Reasoner.Chase.run horn_rules d in
+  check "no fresh nulls" true
+    (Structure.Element.Set.for_all Structure.Element.is_const
+       (Structure.Instance.domain r.instance))
+
+let test_chase_egd () =
+  let rules = [] in
+  let func_egd =
+    Reasoner.Chase.egd ~name:"func_R"
+      ~body:[ ("R", [ v "x"; v "y" ]); ("R", [ v "x"; v "z" ]) ]
+      ~left:"y" ~right:"z" ()
+  in
+  (* merging a null into a constant *)
+  let d =
+    Structure.Instance.of_facts
+      [
+        Structure.Instance.fact "R" [ e "a"; e "b" ];
+        Structure.Instance.fact "R" [ e "a"; Structure.Element.Null 0 ];
+      ]
+  in
+  let r = Reasoner.Chase.run ~egds:[ func_egd ] rules d in
+  Alcotest.(check int) "one fact left" 1 (Structure.Instance.cardinal r.instance);
+  (* two distinct constants: failure *)
+  let d2 = inst [ ("R", [ "a"; "b" ]); ("R", [ "a"; "c" ]) ] in
+  check "egd failure" true
+    (try
+       ignore (Reasoner.Chase.run ~egds:[ func_egd ] rules d2);
+       false
+     with Reasoner.Chase.Egd_failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "dpll_basic" `Quick test_dpll_basic;
+    Alcotest.test_case "dpll_enumerate" `Quick test_dpll_enumerate;
+    QCheck_alcotest.to_alcotest test_dpll_vs_brute;
+    Alcotest.test_case "consistency" `Quick test_consistency;
+    Alcotest.test_case "certain_disjunctive" `Quick test_certain_disjunctive;
+    Alcotest.test_case "certain_horn" `Quick test_certain_horn;
+    Alcotest.test_case "hand_finger" `Quick test_hand_finger;
+    Alcotest.test_case "countermodel_is_model" `Quick test_countermodel_is_model;
+    Alcotest.test_case "chase_horn" `Quick test_chase_horn;
+    Alcotest.test_case "chase_restricted" `Quick test_chase_restricted;
+    Alcotest.test_case "chase_egd" `Quick test_chase_egd;
+  ]

@@ -1,0 +1,102 @@
+open Helpers
+
+let check = Alcotest.(check bool)
+
+let p = Sat22.Twotwosat.Var "p"
+let q = Sat22.Twotwosat.Var "q"
+let r = Sat22.Twotwosat.Var "r"
+let s = Sat22.Twotwosat.Var "s"
+let tt = Sat22.Twotwosat.Truth true
+let ff = Sat22.Twotwosat.Truth false
+
+(* force p: p ∨ p ∨ ¬true ∨ ¬true *)
+let force_true x = Sat22.Twotwosat.clause x x tt tt
+
+(* force ¬p: false ∨ false ∨ ¬p ∨ ¬p *)
+let force_false x = Sat22.Twotwosat.clause ff ff x x
+
+let test_solver () =
+  check "free clause sat" true (Sat22.Twotwosat.satisfiable [ Sat22.Twotwosat.clause p q r s ]);
+  check "forced contradiction unsat" false
+    (Sat22.Twotwosat.satisfiable [ force_true p; force_false p ]);
+  check "chain sat" true
+    (Sat22.Twotwosat.satisfiable
+       [ force_true p; Sat22.Twotwosat.clause q q p p ]);
+  (* solution check *)
+  (match Sat22.Twotwosat.solve [ force_true p; force_false q ] with
+  | None -> Alcotest.fail "should be satisfiable"
+  | Some a ->
+      check "p true" true (Logic.Names.SMap.find "p" a);
+      check "q false" false (Logic.Names.SMap.find "q" a))
+
+let test_solver_vs_bruteforce =
+  QCheck.Test.make ~name:"2+2 solver agrees with truth tables" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = Sat22.Twotwosat.random ~rng ~nvars:3 ~nclauses:4 in
+      let vars = Logic.Names.SSet.elements (Sat22.Twotwosat.variables f) in
+      let rec assignments = function
+        | [] -> [ Logic.Names.SMap.empty ]
+        | v :: rest ->
+            List.concat_map
+              (fun a ->
+                [ Logic.Names.SMap.add v true a; Logic.Names.SMap.add v false a ])
+              (assignments rest)
+      in
+      let brute = List.exists (fun a -> Sat22.Twotwosat.eval a f) (assignments vars) in
+      Bool.equal brute (Sat22.Twotwosat.satisfiable f))
+
+(* ---------------------------------------------------------------- *)
+(* The Theorem 3 reduction with the D ⊑ A ⊔ B witness                *)
+(* ---------------------------------------------------------------- *)
+
+let witness =
+  {
+    Sat22.Reduction.base = inst [ ("D", [ "a" ]) ];
+    q1 = cq ~name:"q1" ~answer:[ "x" ] [ ("A", [ v "x" ]) ];
+    a1 = e "a";
+    q2 = cq ~name:"q2" ~answer:[ "x" ] [ ("B", [ v "x" ]) ];
+    a2 = e "a";
+  }
+
+let test_reduction_cases () =
+  let cases =
+    [
+      ([ force_true p; force_false p ], "contradiction");
+      ([ Sat22.Twotwosat.clause p q r s ], "free");
+      ([ force_true p; Sat22.Twotwosat.clause q q p p ], "chain");
+      ( [ force_true p; force_true q; Sat22.Twotwosat.clause ff ff p q ],
+        "both forced then clashed" );
+    ]
+  in
+  List.iter
+    (fun (f, name) ->
+      let unsat, certain = Sat22.Reduction.unsat_iff_certain o_disj witness f in
+      Alcotest.(check bool) (name ^ ": unsat iff certain") unsat certain)
+    cases
+
+let test_reduction_random =
+  QCheck.Test.make ~name:"reduction: unsat iff certain (random)" ~count:12
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = Sat22.Twotwosat.random ~rng ~nvars:2 ~nclauses:2 in
+      let unsat, certain = Sat22.Reduction.unsat_iff_certain o_disj witness f in
+      Bool.equal unsat certain)
+
+let test_gadget_structure () =
+  let f = [ Sat22.Twotwosat.clause p q r s ] in
+  let d = Sat22.Reduction.instance witness f in
+  (* one copy of the base instance per variable *)
+  Alcotest.(check int) "four gadgets" 4 (Structure.Instance.cardinal d);
+  check "query exists" true (Option.is_some (Sat22.Reduction.query witness f))
+
+let suite =
+  [
+    Alcotest.test_case "solver" `Quick test_solver;
+    QCheck_alcotest.to_alcotest test_solver_vs_bruteforce;
+    Alcotest.test_case "reduction_cases" `Quick test_reduction_cases;
+    QCheck_alcotest.to_alcotest test_reduction_random;
+    Alcotest.test_case "gadget_structure" `Quick test_gadget_structure;
+  ]

@@ -1,0 +1,163 @@
+open Helpers
+module ESet = Structure.Element.Set
+module EMap = Structure.Element.Map
+
+let check = Alcotest.(check bool)
+
+let triangle = inst [ ("R", [ "a"; "b" ]); ("R", [ "b"; "c" ]); ("R", [ "c"; "a" ]) ]
+
+let guarded_triangle =
+  Structure.Instance.add_fact
+    (Structure.Instance.fact "Q" [ e "a"; e "b"; e "c" ])
+    triangle
+
+let test_guarded_sets () =
+  check "pair guarded" true
+    (Structure.Guarded.is_guarded triangle (ESet.of_list [ e "a"; e "b" ]));
+  check "triple unguarded" false
+    (Structure.Guarded.is_guarded triangle (ESet.of_list [ e "a"; e "b"; e "c" ]));
+  check "triple guarded with Q" true
+    (Structure.Guarded.is_guarded guarded_triangle
+       (ESet.of_list [ e "a"; e "b"; e "c" ]));
+  let maxg = Structure.Guarded.maximal_guarded_sets triangle in
+  Alcotest.(check int) "three maximal guarded sets" 3 (List.length maxg)
+
+let test_homomorphism () =
+  let path = inst [ ("R", [ "x"; "y" ]); ("R", [ "y"; "z" ]) ] in
+  (* path -> triangle exists *)
+  check "path to triangle" true
+    (Structure.Homomorphism.exists ~source:path ~target:triangle ());
+  (* triangle -> path does not *)
+  check "triangle to path" false
+    (Structure.Homomorphism.exists ~source:triangle ~target:path ());
+  (* hom composition is a hom *)
+  let m = Option.get (Structure.Homomorphism.find ~source:path ~target:triangle ()) in
+  check "is_homomorphism" true
+    (Structure.Homomorphism.is_homomorphism m ~source:path ~target:triangle)
+
+let test_homomorphism_fixed () =
+  let src = inst [ ("R", [ "u"; "w" ]) ] in
+  let fixed = EMap.singleton (e "u") (e "a") in
+  let m = Structure.Homomorphism.find ~fixed ~source:src ~target:triangle () in
+  check "fixed start" true
+    (match m with
+    | Some m -> Structure.Element.equal (EMap.find (e "u") m) (e "a")
+    | None -> false)
+
+let test_hom_count_qcheck =
+  QCheck.Test.make ~name:"hom count matches brute force" ~count:30
+    QCheck.(pair (int_bound 100) (int_bound 3))
+    (fun (seed, size) ->
+      let size = size + 1 in
+      let signature = Logic.Signature.of_list [ ("R", 2) ] in
+      let rng = Random.State.make [| seed |] in
+      let a = Structure.Randgen.instance ~rng ~signature ~size:2 ~p:0.5 in
+      let b = Structure.Randgen.instance ~rng ~signature ~size ~p:0.4 in
+      if Structure.Instance.cardinal a = 0 then true
+      else
+        let found = Structure.Homomorphism.all ~source:a ~target:b () in
+        (* brute force: all total maps dom(a) -> dom(b) *)
+        let doms = Structure.Instance.domain_list a in
+        let cods = Structure.Instance.domain_list b in
+        let rec maps = function
+          | [] -> [ EMap.empty ]
+          | d :: rest ->
+              List.concat_map
+                (fun m -> List.map (fun cd -> EMap.add d cd m) cods)
+                (maps rest)
+        in
+        let brute =
+          List.filter
+            (fun m -> Structure.Homomorphism.is_homomorphism m ~source:a ~target:b)
+            (maps doms)
+        in
+        List.length brute = List.length found)
+
+let test_gaifman () =
+  let g = Structure.Gaifman.of_instance triangle in
+  Alcotest.(check (option int)) "distance a-c" (Some 1)
+    (Structure.Gaifman.distance g (e "a") (e "c"));
+  check "connected" true (Structure.Gaifman.is_connected g);
+  let two = inst [ ("R", [ "a"; "b" ]); ("R", [ "c"; "d" ]) ] in
+  let g2 = Structure.Gaifman.of_instance two in
+  check "disconnected" false (Structure.Gaifman.is_connected g2);
+  Alcotest.(check int) "two components" 2
+    (List.length (Structure.Gaifman.connected_components g2))
+
+let test_treedec () =
+  (* Example 4: the R-triangle is not guarded tree decomposable; adding
+     the guard Q(x,y,z) makes it decomposable. *)
+  check "triangle cyclic" false
+    (Structure.Treedec.is_guarded_tree_decomposable triangle);
+  check "guarded triangle acyclic" true
+    (Structure.Treedec.is_guarded_tree_decomposable guarded_triangle);
+  let path = inst [ ("R", [ "x"; "y" ]); ("R", [ "y"; "z" ]) ] in
+  check "path acyclic" true (Structure.Treedec.is_guarded_tree_decomposable path);
+  check "path cg" true (Structure.Treedec.is_cg_tree_decomposable path)
+
+let test_disjoint_union () =
+  let a = inst [ ("A", [ "a" ]) ] in
+  let b = inst [ ("B", [ "a" ]) ] in
+  let u = Structure.Instance.disjoint_union a b in
+  Alcotest.(check int) "domains kept apart" 2 (Structure.Instance.domain_size u);
+  Alcotest.(check int) "both facts present" 2 (Structure.Instance.cardinal u)
+
+let test_unravel_chain () =
+  (* Example 5 (1): a triangle of guarded sets unravels into chains; the
+     up map is a homomorphism onto D. *)
+  let d = triangle in
+  let u = Structure.Unravel.unravel ~depth:4 d in
+  let du = Structure.Unravel.instance u in
+  check "unravelling acyclic" true
+    (Structure.Treedec.is_guarded_tree_decomposable du);
+  let up = Structure.Unravel.up_map u in
+  check "up is a homomorphism" true
+    (Structure.Homomorphism.is_homomorphism up ~source:du ~target:d);
+  (* every element of du is a copy of an element of d *)
+  check "up total" true
+    (ESet.for_all (fun x -> EMap.mem x up) (Structure.Instance.domain du))
+
+let test_unravel_ugc2 () =
+  (* Example 5 (2): the uGF-unravelling of a depth-1 tree with root a has
+     infinite outdegree at the copies of a (bounded here), while the
+     uGC2-unravelling preserves successor counts. *)
+  let d =
+    inst [ ("R", [ "a"; "b1" ]); ("R", [ "a"; "b2" ]); ("R", [ "a"; "b3" ]) ]
+  in
+  let count_r_succ i x =
+    List.length
+      (List.filter
+         (fun (f : Structure.Instance.fact) ->
+           f.rel = "R" && Structure.Element.equal (List.nth f.args 0) x)
+         (Structure.Instance.facts i))
+  in
+  let ugf = Structure.Unravel.unravel ~variant:UGF ~depth:3 d in
+  let ugc = Structure.Unravel.unravel ~variant:UGC2 ~depth:3 d in
+  let max_succ u =
+    let i = Structure.Unravel.instance u in
+    ESet.fold (fun x m -> max m (count_r_succ i x)) (Structure.Instance.domain i) 0
+  in
+  check "uGF unravelling blows up outdegree" true (max_succ ugf > 3);
+  check "uGC2 unravelling preserves outdegree" true (max_succ ugc <= 3)
+
+let test_modelcheck_counting () =
+  let d = inst [ ("R", [ "a"; "b" ]); ("R", [ "a"; "c" ]) ] in
+  let f n = Logic.Formula.CountGeq (n, "y", atom "R" [ v "x"; v "y" ]) in
+  let env = Structure.Modelcheck.env_of_list [ ("x", e "a") ] in
+  check ">=1" true (Structure.Modelcheck.eval d env (f 1));
+  check ">=2" true (Structure.Modelcheck.eval d env (f 2));
+  check ">=3" false (Structure.Modelcheck.eval d env (f 3))
+
+let suite =
+  [
+    Alcotest.test_case "guarded_sets" `Quick test_guarded_sets;
+    Alcotest.test_case "homomorphism" `Quick test_homomorphism;
+    Alcotest.test_case "homomorphism_fixed" `Quick test_homomorphism_fixed;
+    QCheck_alcotest.to_alcotest test_hom_count_qcheck;
+    Alcotest.test_case "gaifman" `Quick test_gaifman;
+    Alcotest.test_case "treedec" `Quick test_treedec;
+    Alcotest.test_case "disjoint_union" `Quick test_disjoint_union;
+    Alcotest.test_case "unravel_chain" `Quick test_unravel_chain;
+    Alcotest.test_case "unravel_ugc2" `Quick test_unravel_ugc2;
+    Alcotest.test_case "modelcheck_counting" `Quick test_modelcheck_counting;
+  ]
