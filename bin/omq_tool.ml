@@ -1,121 +1,251 @@
 (* The command-line front end:
 
-     omq_tool classify ONTOLOGY.dl
-     omq_tool eval ONTOLOGY.dl DATA.txt 'q(x) <- Thumb(x)'
-     omq_tool fig1
+     omq_tool classify ONTOLOGY.dl [--json]
+     omq_tool eval ONTOLOGY.dl DATA.txt 'q(x) <- Thumb(x)' [--json] [--stats]
+     omq_tool fig1 [--json]
      omq_tool corpus --seed 2017 -n 411
-     omq_tool decide ONTOLOGY.dl
+     omq_tool decide ONTOLOGY.dl [--json]
 *)
 
 open Cmdliner
 
+(* ------------------------------------------------------------------ *)
+(* Input loading: every parser in the tool reports errors the same way,
+   as [Error "file:line: message"], and every command funnels through
+   [run_result]. *)
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error m -> Error m
+
+let ( let* ) = Result.bind
 
 let load_tbox path =
-  try Ok (Dl.Parser.parse_tbox (read_file path)) with
+  let* text = read_file path in
+  try Ok (Dl.Parser.parse_tbox text) with
   | Dl.Parser.Parse_error { line; message } ->
       Error (Printf.sprintf "%s:%d: %s" path line message)
   | Dl.Lexer.Lex_error { line; col; message } ->
       Error (Printf.sprintf "%s:%d:%d: %s" path line col message)
-  | Sys_error m -> Error m
 
-let ontology_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"ONTOLOGY" ~doc:"DL ontology file (one axiom per line).")
+let load_instance path =
+  let* text = read_file path in
+  try Ok (Structure.Parse.instance_of_string text) with
+  | Structure.Parse.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+
+let load_query text =
+  try Ok (Query.Parse.ucq_of_string text)
+  with Query.Parse.Parse_error m -> Error (Printf.sprintf "query: %s" m)
+
+let run_result f =
+  match f () with
+  | Ok code -> code
+  | Error m ->
+      Fmt.epr "omq_tool: %s@." m;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON (the toolchain ships no JSON library). *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* [fields] are already-rendered JSON values. *)
+let json_obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> json_string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let json_list items = "[" ^ String.concat ", " items ^ "]"
+let json_bool b = if b then "true" else "false"
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit a machine-readable JSON object on stdout.")
+
+let status_name (s : Classify.Landscape.status) =
+  Fmt.str "%a" Classify.Landscape.pp_status s
+
+let element_name e = Fmt.str "%a" Structure.Element.pp e
 
 (* ------------------------------------------------------------------ *)
 
+let ontology_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"ONTOLOGY" ~doc:"DL ontology file (one axiom per line).")
+
 let classify_cmd =
-  let run path =
-    match load_tbox path with
-    | Error m ->
-        Fmt.epr "%s@." m;
-        1
-    | Ok tbox ->
-        let o = Dl.Translate.tbox tbox in
-        Fmt.pr "DL name:   %s (depth %d)@." (Dl.Tbox.name tbox) (Dl.Tbox.depth tbox);
-        (match Gf.Fragment.of_ontology o with
-        | Some d -> Fmt.pr "fragment:  %s@." (Gf.Fragment.name d)
-        | None -> Fmt.pr "fragment:  outside uGF/uGC2@.");
-        let ev = Classify.Landscape.of_tbox tbox in
-        Fmt.pr "status:    %a@." Classify.Landscape.pp_evidence ev;
-        0
+  let run path json =
+    run_result @@ fun () ->
+    let* tbox = load_tbox path in
+    let o = Dl.Translate.tbox tbox in
+    let fragment = Gf.Fragment.of_ontology o in
+    let ev = Classify.Landscape.of_tbox tbox in
+    if json then
+      Fmt.pr "%s@."
+        (json_obj
+           [
+             ("dl_name", json_string (Dl.Tbox.name tbox));
+             ("depth", string_of_int (Dl.Tbox.depth tbox));
+             ( "fragment",
+               match fragment with
+               | Some d -> json_string (Gf.Fragment.name d)
+               | None -> "null" );
+             ("status", json_string (status_name ev.Classify.Landscape.status));
+             ("evidence_fragment", json_string ev.Classify.Landscape.fragment);
+             ("source", json_string ev.Classify.Landscape.source);
+           ])
+    else begin
+      Fmt.pr "DL name:   %s (depth %d)@." (Dl.Tbox.name tbox)
+        (Dl.Tbox.depth tbox);
+      (match fragment with
+      | Some d -> Fmt.pr "fragment:  %s@." (Gf.Fragment.name d)
+      | None -> Fmt.pr "fragment:  outside uGF/uGC2@.");
+      Fmt.pr "status:    %a@." Classify.Landscape.pp_evidence ev
+    end;
+    Ok 0
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Locate an ontology in the Figure 1 landscape.")
-    Term.(const run $ ontology_arg)
+    Term.(const run $ ontology_arg $ json_arg)
 
 let eval_cmd =
   let data_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"DATA" ~doc:"Instance file (one fact per line).")
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DATA" ~doc:"Instance file (one fact per line).")
   in
   let query_arg =
-    Arg.(required & pos 2 (some string) None & info [] ~docv:"QUERY" ~doc:"UCQ, e.g. 'q(x) <- Thumb(x)'.")
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"UCQ, e.g. 'q(x) <- Thumb(x)'.")
   in
   let bound_arg =
     Arg.(value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
   in
-  let run path data query max_extra =
-    match load_tbox path with
-    | Error m ->
-        Fmt.epr "%s@." m;
-        1
-    | Ok tbox -> (
-        try
-          let d = Structure.Parse.instance_of_string (read_file data) in
-          let q = Query.Parse.ucq_of_string query in
-          let omq = Omq.of_tbox tbox q in
-          if not (Omq.is_consistent ~max_extra omq d) then begin
-            Fmt.pr "instance inconsistent with the ontology: every tuple is an answer@.";
-            0
-          end
-          else begin
-            let answers = Omq.certain_answers ~max_extra omq d in
-            if Query.Ucq.is_boolean q then
-              Fmt.pr "certain: %b@." (answers <> [])
-            else begin
-              Fmt.pr "%d certain answer(s)@." (List.length answers);
-              List.iter
-                (fun t ->
-                  Fmt.pr "  (%a)@."
-                    Fmt.(list ~sep:comma Structure.Element.pp)
-                    t)
-                answers
-            end;
-            0
-          end
-        with
-        | Structure.Parse.Parse_error { line; message } ->
-            Fmt.epr "%s:%d: %s@." data line message;
-            1
-        | Query.Parse.Parse_error m ->
-            Fmt.epr "query: %s@." m;
-            1)
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Report engine counters (groundings, solves, cache traffic).")
+  in
+  let run path data query max_extra json stats =
+    run_result @@ fun () ->
+    let* tbox = load_tbox path in
+    let* d = load_instance data in
+    let* q = load_query query in
+    let omq = Omq.of_tbox tbox q in
+    Reasoner.Stats.reset Reasoner.Stats.global;
+    let session = Omq.open_session ~max_extra omq d in
+    let consistent = Omq.Session.is_consistent session in
+    let answers = if consistent then Omq.Session.certain_answers session else [] in
+    let global = Reasoner.Stats.global in
+    if json then begin
+      let base =
+        [
+          ("consistent", json_bool consistent);
+          ("boolean", json_bool (Query.Ucq.is_boolean q));
+        ]
+      in
+      let payload =
+        if not consistent then base
+        else if Query.Ucq.is_boolean q then
+          base @ [ ("certain", json_bool (answers <> [])) ]
+        else
+          base
+          @ [
+              ("count", string_of_int (List.length answers));
+              ( "answers",
+                json_list
+                  (List.map
+                     (fun t ->
+                       json_list (List.map (fun e -> json_string (element_name e)) t))
+                     answers) );
+            ]
+      in
+      let payload =
+        if stats then payload @ [ ("stats", Reasoner.Stats.to_json global) ]
+        else payload
+      in
+      Fmt.pr "%s@." (json_obj payload)
+    end
+    else begin
+      if not consistent then
+        Fmt.pr "instance inconsistent with the ontology: every tuple is an answer@."
+      else if Query.Ucq.is_boolean q then Fmt.pr "certain: %b@." (answers <> [])
+      else begin
+        Fmt.pr "%d certain answer(s)@." (List.length answers);
+        List.iter
+          (fun t ->
+            Fmt.pr "  (%a)@." Fmt.(list ~sep:comma Structure.Element.pp) t)
+          answers
+      end;
+      if stats then Fmt.pr "%a@." Reasoner.Stats.pp global
+    end;
+    Ok 0
   in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Certain answers of a UCQ over an instance w.r.t. an ontology.")
-    Term.(const run $ ontology_arg $ data_arg $ query_arg $ bound_arg)
+    Term.(const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ json_arg $ stats_arg)
 
 let fig1_cmd =
-  let run () =
-    Fmt.pr "%-18s %-14s %-14s@." "fragment" "computed" "paper";
-    List.iter
-      (fun (name, (ev : Classify.Landscape.evidence), expected) ->
-        Fmt.pr "%-18s %-14s %-14s %s@." name
-          (Fmt.str "%a" Classify.Landscape.pp_status ev.status)
-          (Fmt.str "%a" Classify.Landscape.pp_status expected)
-          (if ev.status = expected then "ok" else "MISMATCH"))
-      Classify.Landscape.figure1;
+  let run json =
+    if json then
+      Fmt.pr "%s@."
+        (json_list
+           (List.map
+              (fun (name, (ev : Classify.Landscape.evidence), expected) ->
+                json_obj
+                  [
+                    ("fragment", json_string name);
+                    ("computed", json_string (status_name ev.status));
+                    ("paper", json_string (status_name expected));
+                    ("match", json_bool (ev.status = expected));
+                  ])
+              Classify.Landscape.figure1))
+    else begin
+      Fmt.pr "%-18s %-14s %-14s@." "fragment" "computed" "paper";
+      List.iter
+        (fun (name, (ev : Classify.Landscape.evidence), expected) ->
+          Fmt.pr "%-18s %-14s %-14s %s@." name
+            (Fmt.str "%a" Classify.Landscape.pp_status ev.status)
+            (Fmt.str "%a" Classify.Landscape.pp_status expected)
+            (if ev.status = expected then "ok" else "MISMATCH"))
+        Classify.Landscape.figure1
+    end;
     0
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Regenerate the Figure 1 landscape.")
-    Term.(const run $ const ())
+    Term.(const run $ json_arg)
 
 let corpus_cmd =
   let seed_arg = Arg.(value & opt int 2017 & info [ "seed" ] ~doc:"Corpus seed.") in
@@ -137,26 +267,41 @@ let decide_cmd =
   let out_arg =
     Arg.(value & opt int 5 & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
   in
-  let run path max_outdegree =
-    match load_tbox path with
-    | Error m ->
-        Fmt.epr "%s@." m;
-        1
-    | Ok tbox -> (
-        let o = Dl.Translate.tbox tbox in
-        match Classify.Decide.decide ~max_outdegree o with
-        | Classify.Decide.Ptime_evidence n ->
-            Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n;
-            0
-        | Classify.Decide.Conp_hard w ->
-            Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
-              Structure.Instance.pp w;
-            0)
+  let run path max_outdegree json =
+    run_result @@ fun () ->
+    let* tbox = load_tbox path in
+    let o = Dl.Translate.tbox tbox in
+    (match Classify.Decide.decide ~max_outdegree o with
+    | Classify.Decide.Ptime_evidence n ->
+        if json then
+          Fmt.pr "%s@."
+            (json_obj
+               [
+                 ("verdict", json_string "ptime");
+                 ("bouquets_checked", string_of_int n);
+               ])
+        else Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n
+    | Classify.Decide.Conp_hard w ->
+        if json then
+          Fmt.pr "%s@."
+            (json_obj
+               [
+                 ("verdict", json_string "conp_hard");
+                 ( "witness",
+                   json_string
+                     (String.concat " "
+                        (String.split_on_char '\n'
+                           (Fmt.str "%a" Structure.Instance.pp w))) );
+               ])
+        else
+          Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
+            Structure.Instance.pp w);
+    Ok 0
   in
   Cmd.v
     (Cmd.info "decide"
        ~doc:"Decide PTIME query evaluation by bouquet materializability (Theorem 13).")
-    Term.(const run $ ontology_arg $ out_arg)
+    Term.(const run $ ontology_arg $ out_arg $ json_arg)
 
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in

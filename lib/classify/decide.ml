@@ -120,8 +120,8 @@ let random_bouquet o ~rng ~max_outdegree =
    larger bounds before being reported: small domains can make
    disjunctions spuriously certain (witnesses of existential axioms run
    out of fresh elements), and the re-check filters such artifacts. *)
-let decide ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20) ?(extra = 1)
-    ?(max_extra = 1) ?(verify_extra = 4) o =
+let decide ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20)
+    ?(max_model_extra = 1) ?(max_extra = 1) ?(verify_extra = 4) o =
   let rng = Random.State.make [| seed |] in
   let candidates =
     structured_bouquets o ~max_outdegree
@@ -137,11 +137,13 @@ let decide ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20) ?(extra = 1)
       candidates
   in
   let non_materializable b =
-    Reasoner.Bounded.is_consistent ~max_extra o b
-    && (not (Material.Materializability.materializable_on ~extra ~max_extra o b))
+    Reasoner.Engine.is_consistent_upto ~max_extra o b
+    && (not
+          (Material.Materializability.materializable_on ~max_model_extra
+             ~max_extra o b))
     && not
          (Material.Materializability.materializable_on
-            ~extra:(extra + verify_extra)
+            ~max_model_extra:(max_model_extra + verify_extra)
             ~max_extra:(max_extra + verify_extra) o b)
   in
   let rec go checked = function

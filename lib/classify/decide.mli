@@ -19,7 +19,7 @@ val decide :
   ?seed:int ->
   ?max_outdegree:int ->
   ?samples:int ->
-  ?extra:int ->
+  ?max_model_extra:int ->
   ?max_extra:int ->
   ?verify_extra:int ->
   Logic.Ontology.t ->

@@ -1,6 +1,11 @@
 (* The public façade: ontology-mediated queries (O, q) and the analyses
    the paper develops for them. Examples and the command-line tool only
-   use this module. *)
+   use this module.
+
+   Evaluation runs on the incremental Reasoner.Engine: a session grounds
+   (O, D) once per countermodel bound and answers every tuple by
+   assumption solving, so asking for all certain answers of an n-ary
+   query costs one grounding per bound instead of |dom|^n of them. *)
 
 type t = {
   ontology : Logic.Ontology.t;
@@ -13,30 +18,96 @@ let of_cq ontology cq = { ontology; query = Query.Ucq.of_cq cq }
 let of_tbox tbox query = { ontology = Dl.Translate.tbox tbox; query }
 
 (* ------------------------------------------------------------------ *)
+(* Sessions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  omq : t;
+  instance : Structure.Instance.t;
+  max_extra : int;
+  (* one engine per countermodel bound 0..max_extra, grounded lazily on
+     first use and shared through the Reasoner.Engine LRU cache *)
+  engines : Reasoner.Engine.t Lazy.t list;
+}
+
+let open_session ?(max_extra = 2) omq d =
+  let extra_signature = Query.Ucq.signature omq.query in
+  {
+    omq;
+    instance = d;
+    max_extra;
+    engines =
+      List.init (max_extra + 1) (fun k ->
+          lazy (Reasoner.Engine.session ~extra_signature ~extra:k omq.ontology d));
+  }
+
+module Session = struct
+  type t = session
+
+  let instance s = s.instance
+  let max_extra s = s.max_extra
+
+  (* O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. Bounds are
+     visited in order, so a refuted tuple never grounds deeper bounds. *)
+  let certain s tuple =
+    List.for_all
+      (fun eng -> Reasoner.Engine.certain_ucq (Lazy.force eng) s.omq.query tuple)
+      s.engines
+
+  let is_consistent s =
+    List.exists (fun eng -> Reasoner.Engine.is_consistent (Lazy.force eng)) s.engines
+
+  (* Candidate tuples over the active domain, lazily. *)
+  let candidates s =
+    let dom = Structure.Instance.domain_list s.instance in
+    let rec tuples k =
+      if k = 0 then Seq.return []
+      else
+        Seq.concat_map
+          (fun rest -> Seq.map (fun e -> e :: rest) (List.to_seq dom))
+          (tuples (k - 1))
+    in
+    tuples (Query.Ucq.arity s.omq.query)
+
+  let certain_answers_seq s = Seq.filter (certain s) (candidates s)
+
+  (* Boolean queries short-circuit on their single candidate; n-ary
+     queries stream, never materializing the |dom|^n candidate list. *)
+  let certain_answers s =
+    if Query.Ucq.is_boolean s.omq.query then
+      if certain s [] then [ [] ] else []
+    else List.of_seq (certain_answers_seq s)
+
+  (* Aggregated counters of the engines this session has forced. *)
+  let stats s =
+    let acc = Reasoner.Stats.create () in
+    List.iter
+      (fun eng ->
+        if Lazy.is_val eng then
+          Reasoner.Stats.add ~into:acc (Reasoner.Engine.stats (Lazy.force eng)))
+      s.engines;
+    acc
+end
+
+(* ------------------------------------------------------------------ *)
 (* Semantics                                                            *)
 (* ------------------------------------------------------------------ *)
 
 (* Certain answer O,D ⊨ q(ā), up to [max_extra] fresh elements in the
    countermodel search (exact for refutation; GF/GC2 have the finite
    model property, so iterative deepening converges). *)
-let certain ?(max_extra = 2) omq d tuple =
-  Reasoner.Bounded.certain_ucq ~max_extra omq.ontology d omq.query tuple
+let certain ?max_extra omq d tuple =
+  Session.certain (open_session ?max_extra omq d) tuple
 
 (* All certain answers over the active domain. *)
-let certain_answers ?(max_extra = 2) omq d =
-  let arity = Query.Ucq.arity omq.query in
-  let rec tuples k =
-    if k = 0 then [ [] ]
-    else
-      List.concat_map
-        (fun rest ->
-          List.map (fun e -> e :: rest) (Structure.Instance.domain_list d))
-        (tuples (k - 1))
-  in
-  List.filter (certain ~max_extra omq d) (tuples arity)
+let certain_answers ?max_extra omq d =
+  Session.certain_answers (open_session ?max_extra omq d)
 
-let is_consistent ?(max_extra = 2) omq d =
-  Reasoner.Bounded.is_consistent ~max_extra omq.ontology d
+let certain_answers_seq ?max_extra omq d =
+  Session.certain_answers_seq (open_session ?max_extra omq d)
+
+let is_consistent ?max_extra omq d =
+  Session.is_consistent (open_session ?max_extra omq d)
 
 (* ------------------------------------------------------------------ *)
 (* Analyses                                                             *)
@@ -49,14 +120,15 @@ let classify omq = Classify.Landscape.of_ontology omq.ontology
 let fragment omq = Gf.Fragment.of_ontology omq.ontology
 
 (* Materializability of the ontology on a concrete instance. *)
-let materializable_on ?extra ?max_extra omq d =
-  Material.Materializability.materializable_on ?extra ?max_extra omq.ontology d
+let materializable_on ?max_model_extra ?max_extra omq d =
+  Material.Materializability.materializable_on ?max_model_extra ?max_extra
+    omq.ontology d
 
 (* The Theorem 5 type-based evaluation (binary signatures). *)
 let rewritten_certain ?extra omq d tuple =
   match omq.query.Query.Ucq.disjuncts with
-  | [ cq ] -> Rewriting.Typeprog.entails ?extra omq.ontology cq d tuple
-  | _ -> invalid_arg "rewritten_certain: single-CQ queries only"
+  | [ cq ] -> Ok (Rewriting.Typeprog.entails ?extra omq.ontology cq d tuple)
+  | _ -> Error `Not_single_cq
 
 (* Theorem 13: decide PTIME query evaluation by bouquet
    materializability. *)

@@ -1,6 +1,11 @@
 (** Ontology-mediated queries (O, q) — the paper's central object — and
     the analyses developed for them. This is the library façade used by
-    the examples and the command-line tool. *)
+    the examples and the command-line tool.
+
+    Evaluation runs on the incremental {!Reasoner.Engine}: open a
+    {!session} to ground (O, D) once and answer many tuples against it;
+    the tuple-at-a-time entry points below are shorthands that fetch the
+    same cached sessions. *)
 
 type t = {
   ontology : Logic.Ontology.t;
@@ -13,6 +18,36 @@ val of_cq : Logic.Ontology.t -> Query.Cq.t -> t
 (** Build from a DL TBox via the standard translation. *)
 val of_tbox : Dl.Tbox.t -> Query.Ucq.t -> t
 
+(** An evaluation session for one (O, q, D): one engine per countermodel
+    bound 0..max_extra, grounded lazily on first use and shared through
+    the engine's LRU session cache. *)
+type session
+
+val open_session : ?max_extra:int -> t -> Structure.Instance.t -> session
+
+module Session : sig
+  type t = session
+
+  val instance : t -> Structure.Instance.t
+  val max_extra : t -> int
+
+  (** O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. *)
+  val certain : t -> Structure.Element.t list -> bool
+
+  val is_consistent : t -> bool
+
+  (** Certain answers, streamed over the active domain without
+      materializing the |dom|^arity candidate list. *)
+  val certain_answers_seq : t -> Structure.Element.t list Seq.t
+
+  (** All certain answers; boolean queries short-circuit on their single
+      candidate. *)
+  val certain_answers : t -> Structure.Element.t list list
+
+  (** Aggregated {!Reasoner.Stats} of the engines this session forced. *)
+  val stats : t -> Reasoner.Stats.t
+end
+
 (** Certain answer O,D ⊨ q(ā); refutations are exact, confirmations hold
     up to [max_extra] fresh countermodel elements. *)
 val certain :
@@ -21,6 +56,10 @@ val certain :
 (** All certain answers over the active domain. *)
 val certain_answers :
   ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list list
+
+(** Streaming variant of {!certain_answers}. *)
+val certain_answers_seq :
+  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list Seq.t
 
 val is_consistent : ?max_extra:int -> t -> Structure.Instance.t -> bool
 
@@ -32,12 +71,16 @@ val fragment : t -> Gf.Fragment.t option
 
 (** Materializability on an instance (bounded search). *)
 val materializable_on :
-  ?extra:int -> ?max_extra:int -> t -> Structure.Instance.t -> bool
+  ?max_model_extra:int -> ?max_extra:int -> t -> Structure.Instance.t -> bool
 
-(** The Theorem 5 type-based evaluation (single-CQ queries over binary
-    signatures). *)
+(** The Theorem 5 type-based evaluation; [Error `Not_single_cq] when the
+    query has more than one disjunct. *)
 val rewritten_certain :
-  ?extra:int -> t -> Structure.Instance.t -> Structure.Element.t list -> bool
+  ?extra:int ->
+  t ->
+  Structure.Instance.t ->
+  Structure.Element.t list ->
+  (bool, [ `Not_single_cq ]) result
 
 (** Theorem 13: decide PTIME query evaluation. *)
 val decide_ptime :

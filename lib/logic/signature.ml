@@ -25,6 +25,11 @@ let of_formula f = Formula.relations f
 let of_formulas fs =
   List.fold_left (fun acc f -> union acc (of_formula f)) empty fs
 
+let subset a b =
+  SMap.for_all
+    (fun name arity -> SMap.find_opt name b = Some arity)
+    a
+
 let to_list s = SMap.bindings s
 let max_arity s = SMap.fold (fun _ a m -> max a m) s 0
 

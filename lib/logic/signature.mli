@@ -19,6 +19,9 @@ val union : t -> t -> t
 val of_formula : Formula.t -> t
 
 val of_formulas : Formula.t list -> t
+
+(** [subset a b]: every symbol of [a] occurs in [b] with the same arity. *)
+val subset : t -> t -> bool
 val to_list : t -> (string * int) list
 val max_arity : t -> int
 val pp : t Fmt.t

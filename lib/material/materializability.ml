@@ -60,11 +60,26 @@ let default_pool o d =
   in
   unary_queries @ binary_queries @ exists_queries
 
-(* The certain answers of the pool, computed once. *)
+(* The certain answers of the pool, computed once — on the incremental
+   engine: one grounding per countermodel bound, shared by every pointed
+   query in the pool (the pool is quadratic in dom(D), so this is the
+   hot path of the materializability search). *)
 let pool_certainty ?(max_extra = 2) o d pool =
+  let pool_signature =
+    List.fold_left
+      (fun s (q, _) -> Logic.Signature.union s (Query.Cq.signature q))
+      Logic.Signature.empty pool
+  in
+  let engines =
+    List.init (max_extra + 1) (fun k ->
+        Reasoner.Engine.session ~extra_signature:pool_signature ~extra:k o d)
+  in
   List.map
     (fun (q, tuple) ->
-      (q, tuple, Reasoner.Bounded.certain_cq ~max_extra o d q tuple))
+      let certain =
+        List.for_all (fun eng -> Reasoner.Engine.certain_cq eng q tuple) engines
+      in
+      (q, tuple, certain))
     pool
 
 let answers_like_certainty certainty b =
@@ -81,13 +96,16 @@ let is_materialization_for ?max_extra o d pool b =
 (* Search for a materialization over the bounded domain. The certain
    answers of the pool are computed once; then a single SAT problem per
    domain size asks for a model of O and D that satisfies exactly the
-   certain pool queries (certain ⇒ assert q, non-certain ⇒ assert ¬q). *)
-let find_materialization ?(extra = 2) ?(max_extra = 2) ?limit ?pool o d =
+   certain pool queries (certain ⇒ assert q, non-certain ⇒ assert ¬q).
+   [max_model_extra] bounds the materialization's fresh nulls,
+   [max_extra] the countermodel search behind the certainty labels. *)
+let find_materialization ?(max_model_extra = 2) ?(max_extra = 2) ?limit ?pool o
+    d =
   ignore limit;
   let pool = match pool with Some p -> p | None -> default_pool o d in
   let certainty = pool_certainty ~max_extra o d pool in
   let rec over_extras k =
-    if k > extra then None
+    if k > max_model_extra then None
     else
       match Reasoner.Bounded.pool_exact_model ~extra:k o d certainty with
       | Some b -> Some b
@@ -97,6 +115,7 @@ let find_materialization ?(extra = 2) ?(max_extra = 2) ?limit ?pool o d =
 
 (* Materializable for an instance: consistent implies a materialization
    exists (within the bounds). *)
-let materializable_on ?extra ?max_extra ?limit ?pool o d =
-  (not (Reasoner.Bounded.is_consistent ?max_extra o d))
-  || Option.is_some (find_materialization ?extra ?max_extra ?limit ?pool o d)
+let materializable_on ?max_model_extra ?max_extra ?limit ?pool o d =
+  (not (Reasoner.Engine.is_consistent_upto ?max_extra o d))
+  || Option.is_some
+       (find_materialization ?max_model_extra ?max_extra ?limit ?pool o d)

@@ -1,7 +1,11 @@
 (** Bounded materializability testing (Definition 2): search for a model
     of O and D whose answers to a pool of pointed queries coincide with
-    the certain answers. Bounds: extra domain elements, countermodel
-    budget, model enumeration limit, and the query pool. *)
+    the certain answers. Bounds: extra domain elements in the
+    materialization ([max_model_extra]), countermodel budget
+    ([max_extra]), model enumeration limit, and the query pool.
+
+    Certainty labels are computed on the incremental {!Reasoner.Engine}:
+    one grounding per countermodel bound shared across the whole pool. *)
 
 type pointed = Query.Cq.t * Structure.Element.t list
 
@@ -21,7 +25,7 @@ val is_materialization_for :
 
 (** Search the bounded models for a materialization. *)
 val find_materialization :
-  ?extra:int ->
+  ?max_model_extra:int ->
   ?max_extra:int ->
   ?limit:int ->
   ?pool:pointed list ->
@@ -31,7 +35,7 @@ val find_materialization :
 
 (** Inconsistent instances count as trivially materializable. *)
 val materializable_on :
-  ?extra:int ->
+  ?max_model_extra:int ->
   ?max_extra:int ->
   ?limit:int ->
   ?pool:pointed list ->

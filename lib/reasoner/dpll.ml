@@ -1,31 +1,40 @@
 (* A CDCL SAT solver: two-watched-literal propagation, 1-UIP conflict
    analysis with non-chronological backjumping, VSIDS branching with
    phase saving, and geometric restarts. Literals are non-zero integers
-   ±v for 1-based variables. Sized for the ground formulas produced by
-   [Ground]; the interface is shared with the old DPLL (tests compare it
-   against brute force). *)
+   ±v for 1-based variables.
+
+   The solver is persistent and incremental: it survives across solves,
+   accepts new variables and clauses between calls (keeping its learned
+   clauses), and solves under assumption literals — assumptions are
+   planted as the first decision levels, MiniSat-style, so refuting a
+   query instantiation needs no clause retraction. The one-shot [solve]
+   used by the bounded model finder is a thin wrapper. *)
 
 type result =
   | Sat of bool array  (** index v-1 holds the value of variable v *)
   | Unsat
 
-type solver = {
-  nvars : int;
+type t = {
+  mutable nvars : int;
   mutable clauses : int array array;  (* original + learned *)
   mutable nclauses : int;
   mutable watches : int list array;  (* literal index -> clause indices *)
-  assign : int array;  (* 0 / 1 / -1 *)
-  level : int array;
-  reason : int array;  (* clause index or -1 *)
-  trail : int array;
+  mutable assign : int array;  (* 0 / 1 / -1 *)
+  mutable level : int array;
+  mutable reason : int array;  (* clause index or -1 *)
+  mutable trail : int array;
   mutable trail_size : int;
-  trail_lim : int array;  (* start of each decision level in trail *)
+  mutable trail_lim : int array;  (* start of each decision level in trail *)
   mutable decision_level : int;
   mutable qhead : int;
-  activity : float array;
+  mutable activity : float array;
   mutable var_inc : float;
-  phase : bool array;
-  seen : bool array;  (* scratch for conflict analysis *)
+  mutable phase : bool array;
+  mutable seen : bool array;  (* scratch for conflict analysis *)
+  mutable broken : bool;  (* refuted at level 0: permanently unsat *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
 }
 
 let lit_index l = if l > 0 then 2 * (l - 1) else (2 * (-l - 1)) + 1
@@ -35,10 +44,10 @@ let value s l =
   let v = s.assign.(lit_var l) in
   if v = 0 then 0 else if (l > 0) = (v = 1) then 1 else -1
 
-let create nvars ncap =
+let make ~nvars =
   {
     nvars;
-    clauses = Array.make (max ncap 16) [||];
+    clauses = Array.make 16 [||];
     nclauses = 0;
     watches = Array.make (max (2 * nvars) 2) [];
     assign = Array.make (max nvars 1) 0;
@@ -53,7 +62,38 @@ let create nvars ncap =
     var_inc = 1.0;
     phase = Array.make (max nvars 1) false;
     seen = Array.make (max nvars 1) false;
+    broken = false;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
   }
+
+let grow_array a n def =
+  if Array.length a >= n then a
+  else begin
+    let bigger = Array.make (max n (2 * Array.length a)) def in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger
+  end
+
+(* Admit variables 1..n (idempotent; arrays are reallocated lazily). *)
+let ensure_nvars s n =
+  if n > s.nvars then begin
+    s.watches <- grow_array s.watches (2 * n) [];
+    s.assign <- grow_array s.assign n 0;
+    s.level <- grow_array s.level n 0;
+    s.reason <- grow_array s.reason n (-1);
+    s.trail <- grow_array s.trail n 0;
+    s.activity <- grow_array s.activity n 0.0;
+    s.phase <- grow_array s.phase n false;
+    s.seen <- grow_array s.seen n false;
+    s.nvars <- n
+  end
+
+(* Decision levels can exceed nvars when assumptions open dummy levels. *)
+let ensure_levels s n = s.trail_lim <- grow_array s.trail_lim n 0
+
+let counters s = (s.n_decisions, s.n_propagations, s.n_conflicts)
 
 let grow_clauses s =
   if s.nclauses = Array.length s.clauses then begin
@@ -61,7 +101,6 @@ let grow_clauses s =
     Array.blit s.clauses 0 bigger 0 s.nclauses;
     s.clauses <- bigger
   end
-
 
 (* Enqueue an implied (or decided) literal. *)
 let enqueue s l reason =
@@ -80,24 +119,53 @@ let attach s ci =
     s.watches.(lit_index c.(1)) <- ci :: s.watches.(lit_index c.(1))
   end
 
-(* Add a clause; returns false if it is the empty clause. Unit clauses
-   are enqueued at the current level. *)
-let add_clause s lits =
-  match lits with
-  | [||] -> false
-  | [| l |] -> (
-      match value s l with
-      | 1 -> true
-      | -1 -> false
-      | _ ->
-          enqueue s l (-1);
-          true)
-  | _ ->
-      grow_clauses s;
-      s.clauses.(s.nclauses) <- lits;
-      attach s s.nclauses;
-      s.nclauses <- s.nclauses + 1;
-      true
+let cancel_until s lvl =
+  if s.decision_level > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = lit_var s.trail.(i) in
+      s.phase.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.decision_level <- lvl
+  end
+
+(* Assert a clause at level 0, simplifying against the permanent
+   (level-0) assignment: satisfied clauses are dropped, falsified
+   literals removed. Any open decision levels are cancelled first, so
+   this is safe between solves. *)
+let assert_clause s lits =
+  cancel_until s 0;
+  if not s.broken then begin
+    let c = List.sort_uniq compare lits in
+    if List.exists (fun l -> List.mem (-l) c) c then () (* tautology *)
+    else begin
+      List.iter (fun l -> ensure_nvars s (lit_var l + 1)) c;
+      if not (List.exists (fun l -> value s l = 1) c) then begin
+        match List.filter (fun l -> value s l <> -1) c with
+        | [] -> s.broken <- true
+        | [ l ] -> enqueue s l (-1)
+        | simplified ->
+            grow_clauses s;
+            s.clauses.(s.nclauses) <- Array.of_list simplified;
+            attach s s.nclauses;
+            s.nclauses <- s.nclauses + 1
+      end
+    end
+  end
+
+(* Seed branching activity from a clause (Jeroslow-Wang-ish weights),
+   for solvers built incrementally rather than via one-shot [solve]. *)
+let seed_clause s c =
+  let w = 2.0 ** float_of_int (-min (List.length c) 30) in
+  List.iter
+    (fun l ->
+      ensure_nvars s (lit_var l + 1);
+      s.activity.(lit_var l) <- s.activity.(lit_var l) +. w)
+    c
 
 (* Two-watched-literal unit propagation; returns the conflicting clause
    index, or -1. *)
@@ -106,6 +174,7 @@ let propagate s =
   while !conflict = -1 && s.qhead < s.trail_size do
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
     let falsified = -l in
     let wi = lit_index falsified in
     let watching = s.watches.(wi) in
@@ -127,7 +196,9 @@ let propagate s =
           else begin
             (* look for a new watch *)
             let n = Array.length c in
-            let rec find k = if k >= n then -1 else if value s c.(k) <> -1 then k else find (k + 1) in
+            let rec find k =
+              if k >= n then -1 else if value s c.(k) <> -1 then k else find (k + 1)
+            in
             let k = find 2 in
             if k >= 0 then begin
               c.(1) <- c.(k);
@@ -142,7 +213,9 @@ let propagate s =
               | -1 ->
                   conflict := ci;
                   (* keep the remaining watchers *)
-                  List.iter (fun cj -> s.watches.(wi) <- cj :: s.watches.(wi)) rest
+                  List.iter
+                    (fun cj -> s.watches.(wi) <- cj :: s.watches.(wi))
+                    rest
               | 0 ->
                   enqueue s c.(0) ci;
                   go rest
@@ -213,20 +286,6 @@ let analyze s conflict_ci =
   in
   (Array.of_list lits, backjump)
 
-let cancel_until s lvl =
-  if s.decision_level > lvl then begin
-    let bound = s.trail_lim.(lvl) in
-    for i = s.trail_size - 1 downto bound do
-      let v = lit_var s.trail.(i) in
-      s.phase.(v) <- s.assign.(v) = 1;
-      s.assign.(v) <- 0;
-      s.reason.(v) <- -1
-    done;
-    s.trail_size <- bound;
-    s.qhead <- bound;
-    s.decision_level <- lvl
-  end
-
 let decide s =
   let best = ref (-1) in
   let best_act = ref neg_infinity in
@@ -239,8 +298,10 @@ let decide s =
   if !best = -1 then None
   else begin
     let v = !best in
+    ensure_levels s (s.decision_level + 1);
     s.trail_lim.(s.decision_level) <- s.trail_size;
     s.decision_level <- s.decision_level + 1;
+    s.n_decisions <- s.n_decisions + 1;
     enqueue s (if s.phase.(v) then v + 1 else -(v + 1)) (-1);
     Some v
   end
@@ -274,39 +335,83 @@ let record_learned s lits =
       s.nclauses <- s.nclauses + 1;
       true
 
-let solve_solver s =
-  let conflicts = ref 0 in
-  let restart_budget = ref 100 in
-  let rec loop () =
-    let conflict = propagate s in
-    if conflict >= 0 then begin
-      incr conflicts;
-      if s.decision_level = 0 then Unsat
-      else begin
-        let learned, backjump = analyze s conflict in
-        cancel_until s backjump;
-        decay s;
-        if not (record_learned s learned) then Unsat
-        else if !conflicts >= !restart_budget then begin
-          restart_budget := !restart_budget + (!restart_budget / 2);
-          cancel_until s 0;
-          loop ()
+(* The CDCL loop, with [assumptions] planted as the first decision
+   levels (one level per assumption, dummy levels for assumptions that
+   are already true — MiniSat-style). Restarts cancel to level 0 and the
+   assumptions are simply re-planted. An assumption found false against
+   the level-0-closed prefix refutes the query without poisoning the
+   solver: [broken] is only set by genuine level-0 conflicts. *)
+let solve_assuming s assumptions =
+  let assumptions = Array.of_list assumptions in
+  Array.iter (fun l -> ensure_nvars s (lit_var l + 1)) assumptions;
+  ensure_levels s (Array.length assumptions + s.nvars + 1);
+  cancel_until s 0;
+  if s.broken then Unsat
+  else begin
+    let restart_budget = ref 100 in
+    let conflicts = ref 0 in
+    let rec loop () =
+      let conflict = propagate s in
+      if conflict >= 0 then begin
+        incr conflicts;
+        s.n_conflicts <- s.n_conflicts + 1;
+        if s.decision_level = 0 then begin
+          s.broken <- true;
+          Unsat
         end
-        else loop ()
+        else begin
+          let learned, backjump = analyze s conflict in
+          cancel_until s backjump;
+          decay s;
+          if not (record_learned s learned) then begin
+            s.broken <- true;
+            Unsat
+          end
+          else if !conflicts >= !restart_budget then begin
+            restart_budget := !restart_budget + (!restart_budget / 2);
+            cancel_until s 0;
+            loop ()
+          end
+          else loop ()
+        end
       end
-    end
-    else
-      match decide s with
-      | None -> Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
-      | Some _ -> loop ()
-  in
-  loop ()
+      else if s.decision_level < Array.length assumptions then begin
+        (* plant the next assumption as a decision *)
+        let p = assumptions.(s.decision_level) in
+        match value s p with
+        | -1 -> Unsat (* conflicts with the assumptions: not [broken] *)
+        | 1 ->
+            (* already true: open a dummy level to keep the
+               level <-> assumption-index correspondence *)
+            s.trail_lim.(s.decision_level) <- s.trail_size;
+            s.decision_level <- s.decision_level + 1;
+            loop ()
+        | _ ->
+            s.trail_lim.(s.decision_level) <- s.trail_size;
+            s.decision_level <- s.decision_level + 1;
+            enqueue s p (-1);
+            loop ()
+      end
+      else
+        match decide s with
+        | None -> Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
+        | Some _ -> loop ()
+    in
+    loop ()
+  end
+
+let is_broken s = s.broken
+
+(* ------------------------------------------------------------------ *)
+(* One-shot interface (bounded model finder, tests)                     *)
+(* ------------------------------------------------------------------ *)
 
 let solve ~nvars clauses =
-  let s = create nvars (List.length clauses) in
+  let s = make ~nvars in
   (* seed activities with occurrence counts for a Jeroslow-Wang-ish
      initial order and initial phases *)
-  let pos = Array.make (max nvars 1) 0.0 and neg = Array.make (max nvars 1) 0.0 in
+  let pos = Array.make (max nvars 1) 0.0
+  and neg = Array.make (max nvars 1) 0.0 in
   List.iter
     (fun c ->
       let w = 2.0 ** float_of_int (-min (List.length c) 30) in
@@ -320,34 +425,31 @@ let solve ~nvars clauses =
     s.activity.(v) <- pos.(v) +. neg.(v);
     s.phase.(v) <- pos.(v) >= neg.(v)
   done;
-  (* normalise: drop tautologies, deduplicate literals *)
-  let normalised =
-    List.filter_map
-      (fun c ->
-        let c = List.sort_uniq compare c in
-        if List.exists (fun l -> List.mem (-l) c) c then None else Some c)
-      clauses
-  in
-  let ok =
-    List.for_all (fun c -> add_clause s (Array.of_list c)) normalised
-  in
-  if not ok then Unsat else solve_solver s
+  List.iter (fun c -> assert_clause s c) clauses;
+  solve_assuming s []
 
 let lit_true model l = if l > 0 then model.(l - 1) else not model.(-l - 1)
 
 (* Enumerate satisfying assignments projected to the [project]ed
-   literals, blocking each found projection. *)
+   literals. Incremental: one persistent solver, each found projection
+   blocked by a new clause, learned clauses kept throughout. *)
 let enumerate ~nvars ~project ?(limit = max_int) clauses =
-  let rec go acc clauses n =
+  let s = make ~nvars in
+  List.iter (fun c -> seed_clause s c) clauses;
+  List.iter (fun c -> assert_clause s c) clauses;
+  let rec go acc n =
     if n >= limit then List.rev acc
     else
-      match solve ~nvars clauses with
+      match solve_assuming s [] with
       | Unsat -> List.rev acc
       | Sat model ->
           let blocking =
             List.map (fun l -> if lit_true model l then -l else l) project
           in
           if blocking = [] then List.rev (model :: acc)
-          else go (model :: acc) (blocking :: clauses) (n + 1)
+          else begin
+            assert_clause s blocking;
+            go (model :: acc) (n + 1)
+          end
   in
-  go [] clauses 0
+  go [] 0

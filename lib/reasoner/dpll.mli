@@ -1,18 +1,52 @@
-(** A small DPLL SAT solver (unit propagation, chronological
-    backtracking) used by the bounded model finder. Literals are
-    non-zero integers ±v for 1-based variables. *)
+(** A CDCL SAT solver (two-watched literals, 1-UIP learning, VSIDS,
+    restarts) used by the bounded model finder and the incremental
+    engine. Literals are non-zero integers ±v for 1-based variables.
+
+    The solver is persistent: {!make} creates one that accepts new
+    variables and clauses between calls via {!ensure_nvars} and
+    {!assert_clause}, keeps its learned clauses, and solves under
+    assumption literals with {!solve_assuming}. *)
 
 type result =
-  | Sat of bool array
+  | Sat of bool array  (** index v-1 holds the value of variable v *)
   | Unsat
 
+(** A persistent incremental solver. *)
+type t
+
+val make : nvars:int -> t
+
+(** Admit variables 1..n (idempotent, may only grow). *)
+val ensure_nvars : t -> int -> unit
+
+(** Add a clause at level 0 (cancelling any open decision levels).
+    Registers unseen variables automatically. *)
+val assert_clause : t -> int list -> unit
+
+(** Seed branching activity from a clause (Jeroslow-Wang-ish weights);
+    call before {!assert_clause} when building a solver incrementally. *)
+val seed_clause : t -> int list -> unit
+
+(** Solve the accumulated clauses under temporary assumption literals.
+    Learned clauses persist; assumptions do not. *)
+val solve_assuming : t -> int list -> result
+
+(** The solver derived a contradiction at level 0: unsatisfiable no
+    matter the assumptions, permanently. *)
+val is_broken : t -> bool
+
+(** Cumulative (decisions, propagations, conflicts). *)
+val counters : t -> int * int * int
+
+(** One-shot solve. *)
 val solve : nvars:int -> int list list -> result
 
 (** Truth of a literal in a model array. *)
 val lit_true : bool array -> int -> bool
 
 (** Enumerate models projected onto the [project]ed literals, blocking
-    each projection; stops at [limit]. *)
+    each projection; stops at [limit]. Incremental underneath: one
+    persistent solver, learned clauses kept across models. *)
 val enumerate :
   nvars:int ->
   project:int list ->

@@ -1,0 +1,246 @@
+module SMap = Logic.Names.SMap
+
+(* The incremental certain-answer engine: ground (O, D, extra-nulls)
+   ONCE into a persistent CDCL solver, then answer per-tuple certainty
+   queries by solving under assumption literals (the negated reified
+   query instantiation) instead of rebuilding clauses. Learned clauses
+   accumulate across calls, so a batch of n² tuple checks over the same
+   (O, D) pays for one grounding and shares all derived lemmas.
+
+   Query reifications are Tseitin *equivalences* (Ground.reify), i.e.
+   definitional extensions: adding them never changes satisfiability of
+   the base problem, which keeps the memoized consistency verdict and
+   all learned clauses sound as more queries arrive. *)
+
+type t = {
+  ontology : Logic.Ontology.t;
+  instance : Structure.Instance.t;
+  extra : int;
+  ground : Ground.t;
+  solver : Dpll.t;
+  reified : (Logic.Formula.t * (string * Structure.Element.t) list, int) Hashtbl.t;
+  stats : Stats.t;
+  mutable consistent : bool option;  (* memoized no-assumption verdict *)
+}
+
+let ontology t = t.ontology
+let instance t = t.instance
+let extra t = t.extra
+let stats t = t.stats
+
+(* Mirror every update into the global record, once. *)
+let tally t f =
+  f t.stats;
+  if t.stats != Stats.global then f Stats.global
+
+(* Push clauses produced by the grounder since the last sync into the
+   persistent solver. *)
+let sync t =
+  Dpll.ensure_nvars t.solver (Ground.nvars t.ground);
+  List.iter
+    (fun c ->
+      Dpll.seed_clause t.solver c;
+      Dpll.assert_clause t.solver c)
+    (Ground.drain_pending t.ground)
+
+let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.empty)
+    ~extra o d =
+  let t0 = Unix.gettimeofday () in
+  let nulls = Structure.Instance.fresh_nulls extra d in
+  let domain = Structure.Instance.domain_list d @ nulls in
+  let domain =
+    (* Interpretations are non-empty. *)
+    if domain = [] then [ Structure.Element.Const "e0" ] else domain
+  in
+  let signature =
+    Logic.Signature.union
+      (Logic.Ontology.signature o)
+      (Logic.Signature.union (Structure.Instance.signature d) extra_signature)
+  in
+  let g = Ground.create ~domain ~signature in
+  Ground.assert_instance g d;
+  List.iter (Ground.assert_formula g) (Logic.Ontology.all_sentences o);
+  let t =
+    {
+      ontology = o;
+      instance = d;
+      extra;
+      ground = g;
+      solver = Dpll.make ~nvars:(Ground.nvars g);
+      reified = Hashtbl.create 64;
+      stats = st;
+      consistent = None;
+    }
+  in
+  sync t;
+  let dt = Unix.gettimeofday () -. t0 in
+  tally t (fun s ->
+      s.Stats.groundings <- s.Stats.groundings + 1;
+      s.Stats.ground_seconds <- s.Stats.ground_seconds +. dt);
+  t
+
+(* One solver invocation, with counters and wall time credited. *)
+let run_solver t assumptions =
+  let d0, p0, c0 = Dpll.counters t.solver in
+  let t0 = Unix.gettimeofday () in
+  let result = Dpll.solve_assuming t.solver assumptions in
+  let dt = Unix.gettimeofday () -. t0 in
+  let d1, p1, c1 = Dpll.counters t.solver in
+  tally t (fun s ->
+      s.Stats.solves <- s.Stats.solves + 1;
+      s.Stats.decisions <- s.Stats.decisions + (d1 - d0);
+      s.Stats.propagations <- s.Stats.propagations + (p1 - p0);
+      s.Stats.conflicts <- s.Stats.conflicts + (c1 - c0);
+      s.Stats.solve_seconds <- s.Stats.solve_seconds +. dt);
+  result
+
+(* The literal equivalent to [f] under [env], memoized per session. New
+   relations are admitted on demand (their facts are unconstrained by O
+   and D, which is exactly their semantics). *)
+let reified_lit ?(env = SMap.empty) t f =
+  let key = (f, SMap.bindings env) in
+  match Hashtbl.find_opt t.reified key with
+  | Some l -> l
+  | None ->
+      Ground.ensure_signature t.ground (Logic.Signature.of_formula f);
+      let l = Ground.reify ~env t.ground f in
+      sync t;
+      Hashtbl.replace t.reified key l;
+      l
+
+let find_model t =
+  match run_solver t [] with
+  | Dpll.Unsat -> None
+  | Dpll.Sat m -> Some (Ground.extract_model t.ground m)
+
+let is_consistent t =
+  match t.consistent with
+  | Some c -> c
+  | None ->
+      let c =
+        match run_solver t [] with Dpll.Sat _ -> true | Dpll.Unsat -> false
+      in
+      t.consistent <- Some c;
+      c
+
+let answer_env (q : Query.Cq.t) tuple =
+  List.fold_left2
+    (fun env v e -> SMap.add v e env)
+    SMap.empty q.Query.Cq.answer tuple
+
+(* A countermodel to O,D ⊨ ⋁ qᵢ(āᵢ) over this session's domain: a model
+   where every pointed disjunct fails, found by assuming the negation of
+   each reified instantiation. *)
+let countermodel_pointed t pointed =
+  let assumptions =
+    List.map
+      (fun (cq, tuple) ->
+        let env = answer_env cq tuple in
+        -reified_lit ~env t (Query.Cq.to_formula cq))
+      pointed
+  in
+  match run_solver t assumptions with
+  | Dpll.Unsat -> None
+  | Dpll.Sat m -> Some (Ground.extract_model t.ground m)
+
+let countermodel t q tuple =
+  if List.length tuple <> Query.Ucq.arity q then
+    invalid_arg "Engine.countermodel: tuple arity mismatch";
+  countermodel_pointed t
+    (List.map (fun cq -> (cq, tuple)) (Query.Ucq.disjuncts q))
+
+(* Certainty at THIS session's domain bound: no countermodel with
+   exactly [extra t] fresh nulls. *)
+let certain_ucq t q tuple = Option.is_none (countermodel t q tuple)
+let certain_cq t q tuple = certain_ucq t (Query.Ucq.of_cq q) tuple
+
+let certain_disjunction t pointed =
+  Option.is_none (countermodel_pointed t pointed)
+
+let certain_formula ?(env = SMap.empty) t f =
+  match run_solver t [ -reified_lit ~env t f ] with
+  | Dpll.Unsat -> true
+  | Dpll.Sat _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The session cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sessions are keyed by (ontology digest, instance digest, extra
+   bound) and evicted least-recently-used. Signatures are NOT part of
+   the key: sessions admit new query relations on demand. *)
+
+type key = string * string * int
+
+let digest_ontology o =
+  Digest.string
+    (Marshal.to_string
+       (Logic.Ontology.sentences o, Logic.Ontology.functional o)
+       [])
+
+let digest_instance d =
+  Digest.string
+    (Marshal.to_string
+       (Structure.Instance.facts d, Structure.Instance.domain_list d)
+       [])
+
+let cache_capacity = ref 16
+let sessions : (key * t) list ref = ref []
+
+let set_cache_capacity n =
+  cache_capacity := max n 0;
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  sessions := take !cache_capacity !sessions
+
+let clear_cache () = sessions := []
+let cached_sessions () = List.length !sessions
+
+let session ?stats ?extra_signature ~extra o d =
+  let key = (digest_ontology o, digest_instance d, extra) in
+  match List.assoc_opt key !sessions with
+  | Some t ->
+      sessions := (key, t) :: List.remove_assoc key !sessions;
+      tally t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
+      t
+  | None ->
+      let t = create ?stats ?extra_signature ~extra o d in
+      tally t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      sessions := take !cache_capacity ((key, t) :: !sessions);
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Iterative-deepening conveniences (Bounded-compatible semantics)      *)
+(* ------------------------------------------------------------------ *)
+
+let is_consistent_upto ?stats ?(max_extra = 2) o d =
+  let rec go k =
+    k <= max_extra
+    && (is_consistent (session ?stats ~extra:k o d) || go (k + 1))
+  in
+  go 0
+
+let certain_ucq_upto ?stats ?(max_extra = 2) o d q tuple =
+  let rec go k =
+    k > max_extra
+    || (certain_ucq (session ?stats ~extra:k o d) q tuple && go (k + 1))
+  in
+  go 0
+
+let certain_cq_upto ?stats ?max_extra o d q tuple =
+  certain_ucq_upto ?stats ?max_extra o d (Query.Ucq.of_cq q) tuple
+
+let certain_disjunction_upto ?stats ?(max_extra = 2) o d pointed =
+  let rec go k =
+    k > max_extra
+    || (certain_disjunction (session ?stats ~extra:k o d) pointed && go (k + 1))
+  in
+  go 0

@@ -1,0 +1,111 @@
+(** The incremental certain-answer engine: ground (O, D, extra fresh
+    nulls) once into a persistent CDCL solver, then answer per-tuple
+    certainty queries by solving under assumption literals (the negated
+    reified query instantiation). Learned clauses and query reifications
+    are kept for the session's lifetime, so batches of tuple checks over
+    the same (O, D) pay for one grounding.
+
+    Semantics match {!Bounded} exactly: a session at bound [extra]
+    searches countermodels over dom(D) plus [extra] labelled nulls; the
+    [_upto] helpers reproduce the iterative-deepening ceilings. *)
+
+type t
+
+(** Ground (O, D) with exactly [extra] fresh nulls. [extra_signature]
+    pre-registers further relations (query relations are also admitted
+    on demand later). [stats] defaults to a fresh per-session record;
+    every update is mirrored into {!Stats.global}. *)
+val create :
+  ?stats:Stats.t ->
+  ?extra_signature:Logic.Signature.t ->
+  extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  t
+
+val ontology : t -> Logic.Ontology.t
+val instance : t -> Structure.Instance.t
+val extra : t -> int
+val stats : t -> Stats.t
+
+(** A model of O and D over the session domain, if any. *)
+val find_model : t -> Structure.Instance.t option
+
+(** Memoized: solved once per session, sound because query reifications
+    are definitional extensions. *)
+val is_consistent : t -> bool
+
+(** A countermodel to O,D ⊨ q(ā) over the session domain, if any. *)
+val countermodel :
+  t -> Query.Ucq.t -> Structure.Element.t list -> Structure.Instance.t option
+
+(** Certainty at this session's exact domain bound. *)
+val certain_ucq : t -> Query.Ucq.t -> Structure.Element.t list -> bool
+
+val certain_cq : t -> Query.Cq.t -> Structure.Element.t list -> bool
+
+(** O,D ⊨ q₁(ā₁) ∨ … ∨ qₙ(āₙ) at this session's bound. *)
+val certain_disjunction :
+  t -> (Query.Cq.t * Structure.Element.t list) list -> bool
+
+(** Certain truth of an FO(=, counting) formula under an assignment. *)
+val certain_formula :
+  ?env:Structure.Element.t Logic.Names.SMap.t -> t -> Logic.Formula.t -> bool
+
+(** {2 The session cache}
+
+    Sessions are cached LRU, keyed by (ontology digest, instance digest,
+    extra bound); hits and misses are recorded in the stats records. *)
+
+(** Fetch or build the session for (O, D, extra). *)
+val session :
+  ?stats:Stats.t ->
+  ?extra_signature:Logic.Signature.t ->
+  extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  t
+
+val set_cache_capacity : int -> unit
+val clear_cache : unit -> unit
+
+(** Number of currently cached sessions. *)
+val cached_sessions : unit -> int
+
+(** {2 Iterative-deepening conveniences}
+
+    Same verdicts as the corresponding {!Bounded} entry points, but
+    every bound k in 0..max_extra runs on a (cached) session. *)
+
+val is_consistent_upto :
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  bool
+
+val certain_ucq_upto :
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  bool
+
+val certain_cq_upto :
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Cq.t ->
+  Structure.Element.t list ->
+  bool
+
+val certain_disjunction_upto :
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  (Query.Cq.t * Structure.Element.t list) list ->
+  bool

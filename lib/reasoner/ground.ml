@@ -14,25 +14,18 @@ type t = {
   mutable nfacts : int;
   mutable nvars : int;
   mutable clauses : int list list;
+  mutable pending : int list list;  (* clauses not yet drained by an engine *)
+  mutable known : Logic.Signature.t;  (* relations with registered facts *)
 }
 
 type env = Structure.Element.t SMap.t
 
 exception Unbound_variable of string
 
-let create ~domain ~signature =
-  let t =
-    {
-      domain = Array.of_list domain;
-      fact_ids = Hashtbl.create 64;
-      facts_rev = [];
-      nfacts = 0;
-      nvars = 0;
-      clauses = [];
-    }
-  in
-  (* Pre-register every possible fact so that model extraction sees a
-     stable variable layout. *)
+(* Register every possible fact over the domain for the signature's
+   relations (idempotent per relation), so model extraction sees a
+   stable variable layout. *)
+let register_signature t signature =
   let rec tuples k =
     if k = 0 then [ [] ]
     else
@@ -53,7 +46,40 @@ let create ~domain ~signature =
           end)
         (tuples arity))
     (Logic.Signature.to_list signature);
+  t.known <- Logic.Signature.union t.known signature
+
+let create ~domain ~signature =
+  let t =
+    {
+      domain = Array.of_list domain;
+      fact_ids = Hashtbl.create 64;
+      facts_rev = [];
+      nfacts = 0;
+      nvars = 0;
+      clauses = [];
+      pending = [];
+      known = Logic.Signature.empty;
+    }
+  in
+  register_signature t signature;
   t
+
+(* Admit further relations after creation (for sessions that must answer
+   queries whose signature was unknown at grounding time). The new fact
+   variables are appended after the existing ones; model extraction is
+   unaffected because it goes through [fact_ids]. *)
+let ensure_signature t signature =
+  if not (Logic.Signature.subset signature t.known) then
+    register_signature t signature
+
+let nvars t = t.nvars
+
+(* Clauses added since the last drain (in insertion order), for pushing
+   into a persistent solver. *)
+let drain_pending t =
+  let batch = List.rev t.pending in
+  t.pending <- [];
+  batch
 
 let fact_var t f =
   match Hashtbl.find_opt t.fact_ids f with
@@ -67,7 +93,9 @@ let fresh_aux t =
   t.nvars <- t.nvars + 1;
   t.nvars
 
-let add_clause t c = t.clauses <- c :: t.clauses
+let add_clause t c =
+  t.clauses <- c :: t.clauses;
+  t.pending <- c :: t.pending
 
 (* ------------------------------------------------------------------ *)
 (* Formula -> ground circuit                                            *)
@@ -236,6 +264,8 @@ let model_to_instance t model =
       let v = fact_var t f in
       if model.(v - 1) then Structure.Instance.add_fact f inst else inst)
     base (List.rev t.facts_rev)
+
+let extract_model = model_to_instance
 
 let solve t =
   match Dpll.solve ~nvars:t.nvars t.clauses with

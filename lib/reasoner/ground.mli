@@ -18,6 +18,18 @@ val create :
     @raise Invalid_argument for facts outside the signature/domain. *)
 val fact_var : t -> Structure.Instance.fact -> int
 
+(** Admit further relations after creation, registering their fact
+    variables (idempotent). Used by sessions answering queries whose
+    signature was unknown at grounding time. *)
+val ensure_signature : t -> Logic.Signature.t -> unit
+
+(** Total SAT variables so far (facts + Tseitin auxiliaries). *)
+val nvars : t -> int
+
+(** Clauses added since the last drain, in insertion order — for pushing
+    into a persistent solver. *)
+val drain_pending : t -> int list list
+
 (** Assert that [f] holds (under [env] for its free variables). *)
 val assert_formula : ?env:env -> t -> Logic.Formula.t -> unit
 
@@ -30,6 +42,10 @@ val assert_instance : t -> Structure.Instance.t -> unit
 (** Solve; [Some m] is a model containing exactly the true facts, with
     the whole domain as its universe. *)
 val solve : t -> Structure.Instance.t option
+
+(** Read an instance off a raw solver model (for persistent solvers
+    driven outside this module, see {!Engine}). *)
+val extract_model : t -> bool array -> Structure.Instance.t
 
 (** Enumerate models (distinct fact sets), up to [limit]. *)
 val enumerate : ?limit:int -> t -> Structure.Instance.t list

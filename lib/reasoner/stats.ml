@@ -1,0 +1,82 @@
+(* Instrumentation counters for the reasoner. One record is threaded
+   through the incremental engine (and mirrored into [global]) so that
+   callers — the CLI's --stats flag, the bench harness, tests — can see
+   how much work a workload really did: groundings built, solver
+   invocations, raw CDCL effort, session-cache effectiveness, and wall
+   time split by phase. *)
+
+type t = {
+  mutable groundings : int;
+  mutable solves : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable ground_seconds : float;
+  mutable solve_seconds : float;
+}
+
+let create () =
+  {
+    groundings = 0;
+    solves = 0;
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    ground_seconds = 0.0;
+    solve_seconds = 0.0;
+  }
+
+(* The process-wide record: every engine operation is mirrored here so
+   that a front end can report totals without holding every session. *)
+let global = create ()
+
+let reset t =
+  t.groundings <- 0;
+  t.solves <- 0;
+  t.decisions <- 0;
+  t.propagations <- 0;
+  t.conflicts <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.ground_seconds <- 0.0;
+  t.solve_seconds <- 0.0
+
+let copy t = { t with groundings = t.groundings }
+
+let add ~into t =
+  into.groundings <- into.groundings + t.groundings;
+  into.solves <- into.solves + t.solves;
+  into.decisions <- into.decisions + t.decisions;
+  into.propagations <- into.propagations + t.propagations;
+  into.conflicts <- into.conflicts + t.conflicts;
+  into.cache_hits <- into.cache_hits + t.cache_hits;
+  into.cache_misses <- into.cache_misses + t.cache_misses;
+  into.ground_seconds <- into.ground_seconds +. t.ground_seconds;
+  into.solve_seconds <- into.solve_seconds +. t.solve_seconds
+
+let now = Unix.gettimeofday
+
+(* Run [f], crediting its wall time via [credit]. *)
+let timed credit f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> credit (now () -. t0)) f
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>groundings:   %d (%.4fs)@ solves:       %d (%.4fs)@ decisions:    \
+     %d@ propagations: %d@ conflicts:    %d@ cache:        %d hit(s), %d \
+     miss(es)@]"
+    t.groundings t.ground_seconds t.solves t.solve_seconds t.decisions
+    t.propagations t.conflicts t.cache_hits t.cache_misses
+
+let to_json t =
+  Printf.sprintf
+    "{\"groundings\":%d,\"solves\":%d,\"decisions\":%d,\"propagations\":%d,\
+     \"conflicts\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"ground_seconds\":%.6f,\"solve_seconds\":%.6f}"
+    t.groundings t.solves t.decisions t.propagations t.conflicts t.cache_hits
+    t.cache_misses t.ground_seconds t.solve_seconds

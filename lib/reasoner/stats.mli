@@ -1,0 +1,35 @@
+(** Instrumentation counters threaded through the incremental engine:
+    groundings built, solver invocations, CDCL effort
+    (decisions/propagations/conflicts), session-cache hits/misses, and
+    wall time per phase. *)
+
+type t = {
+  mutable groundings : int;  (** SAT groundings built from scratch *)
+  mutable solves : int;  (** solver invocations (incl. assumption solves) *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable cache_hits : int;  (** session-cache lookups that reused an engine *)
+  mutable cache_misses : int;  (** lookups that had to ground *)
+  mutable ground_seconds : float;  (** wall time spent grounding *)
+  mutable solve_seconds : float;  (** wall time spent in the solver *)
+}
+
+val create : unit -> t
+
+(** The process-wide record; every engine operation is mirrored here. *)
+val global : t
+
+val reset : t -> unit
+val copy : t -> t
+
+(** [add ~into t] accumulates [t]'s counters into [into]. *)
+val add : into:t -> t -> unit
+
+(** [timed credit f] runs [f], passing its wall time to [credit]. *)
+val timed : (float -> unit) -> (unit -> 'a) -> 'a
+
+val pp : t Fmt.t
+
+(** One-line JSON object with all counters. *)
+val to_json : t -> string

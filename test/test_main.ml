@@ -7,6 +7,7 @@ let () =
       ("query", Test_query.suite);
       ("dl", Test_dl.suite);
       ("reasoner", Test_reasoner.suite);
+      ("engine", Test_engine.suite);
       ("datalog", Test_datalog.suite);
       ("material", Test_material.suite);
       ("csp", Test_csp.suite);

@@ -27,7 +27,7 @@ let test_disjunction_fails_for_union () =
 let test_materialization_horn () =
   (* Horn ontologies have materializations (the chase). *)
   let d = inst [ ("A", [ "a" ]) ] in
-  match Material.Materializability.find_materialization ~extra:2 o_horn d with
+  match Material.Materializability.find_materialization ~max_model_extra:2 o_horn d with
   | None -> Alcotest.fail "expected a materialization"
   | Some b ->
       check "model of O" true
@@ -40,17 +40,17 @@ let test_materialization_union_fails () =
     inst (("Hand", [ "h" ]) :: List.map (fun f -> ("hasFinger", [ "h"; f ])) fingers)
   in
   check "O1 ∪ O2 not materializable on the 5-finger hand" false
-    (Material.Materializability.materializable_on ~extra:1 ~max_extra:1
+    (Material.Materializability.materializable_on ~max_model_extra:1 ~max_extra:1
        o_hand_union d);
   check "O2 materializable on the same instance" true
-    (Material.Materializability.materializable_on ~extra:1 ~max_extra:1
+    (Material.Materializability.materializable_on ~max_model_extra:1 ~max_extra:1
        o_hand_thumb d)
 
 let test_disjunctive_not_materializable () =
   (* D ⊑ A ⊔ B with D(a). *)
   let d = inst [ ("D", [ "a" ]) ] in
   check "not materializable" false
-    (Material.Materializability.materializable_on ~extra:1 o_disj d);
+    (Material.Materializability.materializable_on ~max_model_extra:1 o_disj d);
   let w = Material.Disjunction.find_violation o_disj (Material.Disjunction.default_candidates o_disj d) in
   check "violation found by default candidates" true (Option.is_some w)
 
