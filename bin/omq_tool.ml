@@ -92,6 +92,49 @@ let status_name (s : Classify.Landscape.status) =
 let element_name e = Fmt.str "%a" Structure.Element.pp e
 
 (* ------------------------------------------------------------------ *)
+(* Resource budgets: --timeout / --fuel build a Reasoner.Budget that the
+   evaluation runs under. A tripped budget is not an error — the tool
+   prints a partial result and exits with a distinct code. Cmdliner's
+   default cli_error is also 124, so command-line misuse is remapped to
+   the conventional 2 to keep 124 = timed out unambiguous. *)
+
+let exit_timeout = 124
+let exit_fuel = 125
+let exit_cli_misuse = 2
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline in seconds. On expiry the tool reports the \
+           partial result computed so far and exits with code 124.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Solver fuel: total propagations + conflicts allowed. On \
+           exhaustion the tool reports the partial result computed so far \
+           and exits with code 125.")
+
+let budget_of timeout fuel =
+  match (timeout, fuel) with
+  | None, None -> Reasoner.Budget.unlimited
+  | _ -> Reasoner.Budget.create ?timeout ?fuel ()
+
+let reason_code = function
+  | Reasoner.Budget.Timeout -> exit_timeout
+  | Reasoner.Budget.Fuel -> exit_fuel
+
+let reason_name = function
+  | Reasoner.Budget.Timeout -> "timeout"
+  | Reasoner.Budget.Fuel -> "out_of_fuel"
+
+(* ------------------------------------------------------------------ *)
 
 let ontology_arg =
   Arg.(
@@ -156,65 +199,126 @@ let eval_cmd =
       & info [ "stats" ]
           ~doc:"Report engine counters (groundings, solves, cache traffic).")
   in
-  let run path data query max_extra json stats =
+  let run path data query max_extra timeout fuel json stats =
     run_result @@ fun () ->
     let* tbox = load_tbox path in
     let* d = load_instance data in
     let* q = load_query query in
     let omq = Omq.of_tbox tbox q in
     Reasoner.Stats.reset Reasoner.Stats.global;
+    let budget = budget_of timeout fuel in
     let session = Omq.open_session ~max_extra omq d in
-    let consistent = Omq.Session.is_consistent session in
-    let answers = if consistent then Omq.Session.certain_answers session else [] in
     let global = Reasoner.Stats.global in
-    if json then begin
-      let base =
-        [
-          ("consistent", json_bool consistent);
-          ("boolean", json_bool (Query.Ucq.is_boolean q));
-        ]
+    let json_answers answers =
+      json_list
+        (List.map
+           (fun t ->
+             json_list (List.map (fun e -> json_string (element_name e)) t))
+           answers)
+    in
+    let maybe_stats payload =
+      if stats then payload @ [ ("stats", Reasoner.Stats.to_json global) ]
+      else payload
+    in
+    (* A tripped budget: report what was certified before exhaustion and
+       where to resume, then exit with the reason's code. *)
+    let partial reason (p : Omq.Session.partial_answers) =
+      let next =
+        match p.Omq.Session.undecided () with
+        | Seq.Nil -> None
+        | Seq.Cons (t, _) -> Some t
       in
-      let payload =
-        if not consistent then base
-        else if Query.Ucq.is_boolean q then
-          base @ [ ("certain", json_bool (answers <> [])) ]
-        else
-          base
-          @ [
-              ("count", string_of_int (List.length answers));
-              ( "answers",
-                json_list
-                  (List.map
-                     (fun t ->
-                       json_list (List.map (fun e -> json_string (element_name e)) t))
-                     answers) );
-            ]
-      in
-      let payload =
-        if stats then payload @ [ ("stats", Reasoner.Stats.to_json global) ]
-        else payload
-      in
-      Fmt.pr "%s@." (json_obj payload)
-    end
-    else begin
-      if not consistent then
-        Fmt.pr "instance inconsistent with the ontology: every tuple is an answer@."
-      else if Query.Ucq.is_boolean q then Fmt.pr "certain: %b@." (answers <> [])
+      if json then
+        Fmt.pr "%s@."
+          (json_obj
+             (maybe_stats
+                [
+                  ("outcome", json_string (reason_name reason));
+                  ("certified", json_answers p.Omq.Session.certified);
+                  ( "resume_from",
+                    match next with
+                    | Some t ->
+                        json_list
+                          (List.map (fun e -> json_string (element_name e)) t)
+                    | None -> "null" );
+                ]))
       else begin
-        Fmt.pr "%d certain answer(s)@." (List.length answers);
+        Fmt.pr "%a: partial result@." Reasoner.Budget.pp_reason reason;
+        Fmt.pr "%d tuple(s) certified before exhaustion@."
+          (List.length p.Omq.Session.certified);
         List.iter
           (fun t ->
             Fmt.pr "  (%a)@." Fmt.(list ~sep:comma Structure.Element.pp) t)
-          answers
+          p.Omq.Session.certified;
+        (match next with
+        | Some t ->
+            Fmt.pr "resume from tuple (%a)@."
+              Fmt.(list ~sep:comma Structure.Element.pp)
+              t
+        | None -> ());
+        if stats then Fmt.pr "%a@." Reasoner.Stats.pp global
       end;
-      if stats then Fmt.pr "%a@." Reasoner.Stats.pp global
-    end;
-    Ok 0
+      Ok (reason_code reason)
+    in
+    let complete consistent answers =
+      if json then begin
+        let base =
+          [
+            ("outcome", json_string "ok");
+            ("consistent", json_bool consistent);
+            ("boolean", json_bool (Query.Ucq.is_boolean q));
+          ]
+        in
+        let payload =
+          if not consistent then base
+          else if Query.Ucq.is_boolean q then
+            base @ [ ("certain", json_bool (answers <> [])) ]
+          else
+            base
+            @ [
+                ("count", string_of_int (List.length answers));
+                ("answers", json_answers answers);
+              ]
+        in
+        Fmt.pr "%s@." (json_obj (maybe_stats payload))
+      end
+      else begin
+        if not consistent then
+          Fmt.pr
+            "instance inconsistent with the ontology: every tuple is an answer@."
+        else if Query.Ucq.is_boolean q then Fmt.pr "certain: %b@." (answers <> [])
+        else begin
+          Fmt.pr "%d certain answer(s)@." (List.length answers);
+          List.iter
+            (fun t ->
+              Fmt.pr "  (%a)@." Fmt.(list ~sep:comma Structure.Element.pp) t)
+            answers
+        end;
+        if stats then Fmt.pr "%a@." Reasoner.Stats.pp global
+      end;
+      Ok 0
+    in
+    let no_partial = { Omq.Session.certified = []; undecided = Seq.empty } in
+    match Omq.Session.is_consistent_within budget session with
+    | `Timeout () -> partial Reasoner.Budget.Timeout no_partial
+    | `Out_of_fuel () -> partial Reasoner.Budget.Fuel no_partial
+    | `Ok false -> complete false []
+    | `Ok true -> (
+        match Omq.Session.certain_answers_within budget session with
+        | `Ok answers -> complete true answers
+        | `Timeout p -> partial Reasoner.Budget.Timeout p
+        | `Out_of_fuel p -> partial Reasoner.Budget.Fuel p)
   in
   Cmd.v
     (Cmd.info "eval"
-       ~doc:"Certain answers of a UCQ over an instance w.r.t. an ontology.")
-    Term.(const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ json_arg $ stats_arg)
+       ~doc:
+         "Certain answers of a UCQ over an instance w.r.t. an ontology. With \
+          $(b,--timeout) or $(b,--fuel) the evaluation degrades gracefully: \
+          a tripped budget prints the tuples certified so far plus a \
+          resumption hint and exits 124 (timeout) or 125 (fuel).")
+    Term.(
+      const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ timeout_arg
+      $ fuel_arg $ json_arg $ stats_arg)
 
 let fig1_cmd =
   let run json =
@@ -267,45 +371,76 @@ let decide_cmd =
   let out_arg =
     Arg.(value & opt int 5 & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
   in
-  let run path max_outdegree json =
+  let run path max_outdegree timeout fuel json =
     run_result @@ fun () ->
     let* tbox = load_tbox path in
     let o = Dl.Translate.tbox tbox in
-    (match Classify.Decide.decide ~max_outdegree o with
-    | Classify.Decide.Ptime_evidence n ->
-        if json then
-          Fmt.pr "%s@."
-            (json_obj
-               [
-                 ("verdict", json_string "ptime");
-                 ("bouquets_checked", string_of_int n);
-               ])
-        else Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n
-    | Classify.Decide.Conp_hard w ->
-        if json then
-          Fmt.pr "%s@."
-            (json_obj
-               [
-                 ("verdict", json_string "conp_hard");
-                 ( "witness",
-                   json_string
-                     (String.concat " "
-                        (String.split_on_char '\n'
-                           (Fmt.str "%a" Structure.Instance.pp w))) );
-               ])
-        else
-          Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
-            Structure.Instance.pp w);
-    Ok 0
+    let budget = budget_of timeout fuel in
+    let report = function
+      | Classify.Decide.Ptime_evidence n ->
+          if json then
+            Fmt.pr "%s@."
+              (json_obj
+                 [
+                   ("verdict", json_string "ptime");
+                   ("bouquets_checked", string_of_int n);
+                 ])
+          else Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n;
+          Ok 0
+      | Classify.Decide.Conp_hard w ->
+          if json then
+            Fmt.pr "%s@."
+              (json_obj
+                 [
+                   ("verdict", json_string "conp_hard");
+                   ( "witness",
+                     json_string
+                       (String.concat " "
+                          (String.split_on_char '\n'
+                             (Fmt.str "%a" Structure.Instance.pp w))) );
+                 ])
+          else
+            Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
+              Structure.Instance.pp w;
+          Ok 0
+    in
+    let partial reason checked =
+      if json then
+        Fmt.pr "%s@."
+          (json_obj
+             [
+               ("verdict", json_string (reason_name reason));
+               ("bouquets_checked", string_of_int checked);
+             ])
+      else
+        Fmt.pr "%a: %d bouquet(s) checked before exhaustion (all PTIME so far)@."
+          Reasoner.Budget.pp_reason reason checked;
+      Ok (reason_code reason)
+    in
+    match Classify.Decide.try_decide budget ~max_outdegree o with
+    | `Ok verdict -> report verdict
+    | `Timeout checked -> partial Reasoner.Budget.Timeout checked
+    | `Out_of_fuel checked -> partial Reasoner.Budget.Fuel checked
   in
   Cmd.v
     (Cmd.info "decide"
-       ~doc:"Decide PTIME query evaluation by bouquet materializability (Theorem 13).")
-    Term.(const run $ ontology_arg $ out_arg $ json_arg)
+       ~doc:
+         "Decide PTIME query evaluation by bouquet materializability \
+          (Theorem 13). With $(b,--timeout) or $(b,--fuel) a tripped budget \
+          reports the bouquets checked so far and exits 124 or 125.")
+    Term.(const run $ ontology_arg $ out_arg $ timeout_arg $ fuel_arg $ json_arg)
 
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in
+  let cmd =
+    Cmd.group (Cmd.info "omq_tool" ~version:"1.0" ~doc)
+      [ classify_cmd; eval_cmd; fig1_cmd; corpus_cmd; decide_cmd ]
+  in
+  (* Map exits ourselves: cmdliner's defaults (cli_error = 124,
+     internal_error = 125) collide with the budget-trip codes. *)
   exit
-    (Cmd.eval'
-       (Cmd.group (Cmd.info "omq_tool" ~version:"1.0" ~doc)
-          [ classify_cmd; eval_cmd; fig1_cmd; corpus_cmd; decide_cmd ]))
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> exit_cli_misuse
+    | Error `Exn -> 70)

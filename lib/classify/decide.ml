@@ -120,8 +120,9 @@ let random_bouquet o ~rng ~max_outdegree =
    larger bounds before being reported: small domains can make
    disjunctions spuriously certain (witnesses of existential axioms run
    out of fresh elements), and the re-check filters such artifacts. *)
-let decide ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20)
-    ?(max_model_extra = 1) ?(max_extra = 1) ?(verify_extra = 4) o =
+let decide ?(budget = Reasoner.Budget.unlimited) ?(on_checked = ignore)
+    ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20) ?(max_model_extra = 1)
+    ?(max_extra = 1) ?(verify_extra = 4) o =
   let rng = Random.State.make [| seed |] in
   let candidates =
     structured_bouquets o ~max_outdegree
@@ -137,17 +138,38 @@ let decide ?(seed = 11) ?(max_outdegree = 5) ?(samples = 20)
       candidates
   in
   let non_materializable b =
-    Reasoner.Engine.is_consistent_upto ~max_extra o b
+    Reasoner.Engine.is_consistent_upto ~budget ~max_extra o b
     && (not
-          (Material.Materializability.materializable_on ~max_model_extra
-             ~max_extra o b))
+          (Material.Materializability.materializable_on ~budget
+             ~max_model_extra ~max_extra o b))
     && not
-         (Material.Materializability.materializable_on
+         (Material.Materializability.materializable_on ~budget
             ~max_model_extra:(max_model_extra + verify_extra)
             ~max_extra:(max_extra + verify_extra) o b)
   in
   let rec go checked = function
     | [] -> Ptime_evidence checked
-    | b :: rest -> if non_materializable b then Conp_hard b else go (checked + 1) rest
+    | b :: rest ->
+        (* one checkpoint per bouquet: verdicts on checked bouquets are
+           final, so a trip here loses only the unchecked tail *)
+        Reasoner.Budget.checkpoint budget;
+        if non_materializable b then Conp_hard b
+        else begin
+          on_checked (checked + 1);
+          go (checked + 1) rest
+        end
   in
   go 0 candidates
+
+(* Typed form: on a trip the partial payload is the number of bouquets
+   fully checked (all of them PTIME evidence so far). *)
+let try_decide budget ?seed ?max_outdegree ?samples ?max_model_extra ?max_extra
+    ?verify_extra o =
+  let checked = ref 0 in
+  Reasoner.Budget.protect budget
+    ~partial:(fun () -> !checked)
+    (fun () ->
+      decide ~budget
+        ~on_checked:(fun n -> checked := n)
+        ?seed ?max_outdegree ?samples ?max_model_extra ?max_extra ?verify_extra
+        o)

@@ -14,8 +14,14 @@ val structured_bouquets :
   Logic.Ontology.t -> max_outdegree:int -> Structure.Instance.t list
 
 (** Bouquets failing at the base bounds are re-checked with
-    [verify_extra] more domain elements to filter bound artifacts. *)
+    [verify_extra] more domain elements to filter bound artifacts.
+    [on_checked] is called after each fully checked bouquet (progress
+    reporting). A [?budget] is checked once per bouquet and threaded
+    into the underlying searches; a trip raises
+    {!Reasoner.Budget.Exhausted}. *)
 val decide :
+  ?budget:Reasoner.Budget.t ->
+  ?on_checked:(int -> unit) ->
   ?seed:int ->
   ?max_outdegree:int ->
   ?samples:int ->
@@ -24,3 +30,16 @@ val decide :
   ?verify_extra:int ->
   Logic.Ontology.t ->
   verdict
+
+(** Typed form of {!decide}: on a trip the partial payload is the
+    number of bouquets fully checked before exhaustion. *)
+val try_decide :
+  Reasoner.Budget.t ->
+  ?seed:int ->
+  ?max_outdegree:int ->
+  ?samples:int ->
+  ?max_model_extra:int ->
+  ?max_extra:int ->
+  ?verify_extra:int ->
+  Logic.Ontology.t ->
+  (verdict, int) Reasoner.Budget.outcome

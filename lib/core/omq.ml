@@ -5,7 +5,12 @@
    Evaluation runs on the incremental Reasoner.Engine: a session grounds
    (O, D) once per countermodel bound and answers every tuple by
    assumption solving, so asking for all certain answers of an n-ary
-   query costs one grounding per bound instead of |dom|^n of them. *)
+   query costs one grounding per bound instead of |dom|^n of them.
+
+   Every evaluation entry accepts a [?budget]; the [_within] forms
+   return typed outcomes instead of raising, and certain_answers_within
+   degrades to the tuples certified so far plus the undecided candidate
+   stream as a resumption hint. *)
 
 type t = {
   ontology : Logic.Ontology.t;
@@ -25,20 +30,20 @@ type session = {
   omq : t;
   instance : Structure.Instance.t;
   max_extra : int;
-  (* one engine per countermodel bound 0..max_extra, grounded lazily on
-     first use and shared through the Reasoner.Engine LRU cache *)
-  engines : Reasoner.Engine.t Lazy.t list;
+  extra_signature : Logic.Signature.t;
+  (* one engine per countermodel bound 0..max_extra, grounded on first
+     use (memo cells rather than Lazy.t so a per-call budget governs the
+     grounding too) and shared through the Reasoner.Engine LRU cache *)
+  engines : Reasoner.Engine.t option ref array;
 }
 
 let open_session ?(max_extra = 2) omq d =
-  let extra_signature = Query.Ucq.signature omq.query in
   {
     omq;
     instance = d;
     max_extra;
-    engines =
-      List.init (max_extra + 1) (fun k ->
-          lazy (Reasoner.Engine.session ~extra_signature ~extra:k omq.ontology d));
+    extra_signature = Query.Ucq.signature omq.query;
+    engines = Array.init (max_extra + 1) (fun _ -> ref None);
   }
 
 module Session = struct
@@ -47,15 +52,40 @@ module Session = struct
   let instance s = s.instance
   let max_extra s = s.max_extra
 
+  (* The engine at bound k, grounded on first use under [budget]. A
+     budget trip during grounding leaves the cell unset (and the engine
+     cache unpolluted), so the next call grounds afresh. *)
+  let engine ?budget s k =
+    let cell = s.engines.(k) in
+    match !cell with
+    | Some eng -> eng
+    | None ->
+        let eng =
+          Reasoner.Engine.session ?budget
+            ~extra_signature:s.extra_signature ~extra:k s.omq.ontology
+            s.instance
+        in
+        cell := Some eng;
+        eng
+
   (* O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. Bounds are
      visited in order, so a refuted tuple never grounds deeper bounds. *)
-  let certain s tuple =
-    List.for_all
-      (fun eng -> Reasoner.Engine.certain_ucq (Lazy.force eng) s.omq.query tuple)
-      s.engines
+  let certain ?budget s tuple =
+    let rec go k =
+      k > s.max_extra
+      || (Reasoner.Engine.certain_ucq ?budget (engine ?budget s k)
+            s.omq.query tuple
+         && go (k + 1))
+    in
+    go 0
 
-  let is_consistent s =
-    List.exists (fun eng -> Reasoner.Engine.is_consistent (Lazy.force eng)) s.engines
+  let is_consistent ?budget s =
+    let rec go k =
+      k <= s.max_extra
+      && (Reasoner.Engine.is_consistent ?budget (engine ?budget s k)
+         || go (k + 1))
+    in
+    go 0
 
   (* Candidate tuples over the active domain, lazily. *)
   let candidates s =
@@ -69,22 +99,60 @@ module Session = struct
     in
     tuples (Query.Ucq.arity s.omq.query)
 
-  let certain_answers_seq s = Seq.filter (certain s) (candidates s)
+  let certain_answers_seq ?budget s =
+    Seq.filter (certain ?budget s) (candidates s)
 
   (* Boolean queries short-circuit on their single candidate; n-ary
      queries stream, never materializing the |dom|^n candidate list. *)
-  let certain_answers s =
+  let certain_answers ?budget s =
     if Query.Ucq.is_boolean s.omq.query then
-      if certain s [] then [ [] ] else []
-    else List.of_seq (certain_answers_seq s)
+      if certain ?budget s [] then [ [] ] else []
+    else List.of_seq (certain_answers_seq ?budget s)
 
-  (* Aggregated counters of the engines this session has forced. *)
+  (* Graceful degradation: on a trip, report the tuples already
+     certified and the undecided candidate tail (headed by the tuple in
+     flight) as a resumption hint. *)
+  type partial_answers = {
+    certified : Structure.Element.t list list;
+    undecided : Structure.Element.t list Seq.t;
+  }
+
+  let certain_answers_within budget s =
+    let certified = ref [] in
+    let cursor = ref (candidates s) in
+    Reasoner.Budget.protect budget
+      ~partial:(fun () ->
+        { certified = List.rev !certified; undecided = !cursor })
+      (fun () ->
+        let rec go () =
+          match !cursor () with
+          | Seq.Nil -> ()
+          | Seq.Cons (tuple, rest) ->
+              if certain ~budget s tuple then certified := tuple :: !certified;
+              cursor := rest;
+              go ()
+        in
+        go ();
+        List.rev !certified)
+
+  let certain_within budget s tuple =
+    Reasoner.Budget.protect budget
+      ~partial:(fun () -> ())
+      (fun () -> certain ~budget s tuple)
+
+  let is_consistent_within budget s =
+    Reasoner.Budget.protect budget
+      ~partial:(fun () -> ())
+      (fun () -> is_consistent ~budget s)
+
+  (* Aggregated counters of the engines this session has grounded. *)
   let stats s =
     let acc = Reasoner.Stats.create () in
-    List.iter
-      (fun eng ->
-        if Lazy.is_val eng then
-          Reasoner.Stats.add ~into:acc (Reasoner.Engine.stats (Lazy.force eng)))
+    Array.iter
+      (fun cell ->
+        match !cell with
+        | Some eng -> Reasoner.Stats.add ~into:acc (Reasoner.Engine.stats eng)
+        | None -> ())
       s.engines;
     acc
 end
@@ -96,18 +164,27 @@ end
 (* Certain answer O,D ⊨ q(ā), up to [max_extra] fresh elements in the
    countermodel search (exact for refutation; GF/GC2 have the finite
    model property, so iterative deepening converges). *)
-let certain ?max_extra omq d tuple =
-  Session.certain (open_session ?max_extra omq d) tuple
+let certain ?budget ?max_extra omq d tuple =
+  Session.certain ?budget (open_session ?max_extra omq d) tuple
 
 (* All certain answers over the active domain. *)
-let certain_answers ?max_extra omq d =
-  Session.certain_answers (open_session ?max_extra omq d)
+let certain_answers ?budget ?max_extra omq d =
+  Session.certain_answers ?budget (open_session ?max_extra omq d)
 
-let certain_answers_seq ?max_extra omq d =
-  Session.certain_answers_seq (open_session ?max_extra omq d)
+let certain_answers_seq ?budget ?max_extra omq d =
+  Session.certain_answers_seq ?budget (open_session ?max_extra omq d)
 
-let is_consistent ?max_extra omq d =
-  Session.is_consistent (open_session ?max_extra omq d)
+let is_consistent ?budget ?max_extra omq d =
+  Session.is_consistent ?budget (open_session ?max_extra omq d)
+
+let certain_within budget ?max_extra omq d tuple =
+  Session.certain_within budget (open_session ?max_extra omq d) tuple
+
+let certain_answers_within budget ?max_extra omq d =
+  Session.certain_answers_within budget (open_session ?max_extra omq d)
+
+let is_consistent_within budget ?max_extra omq d =
+  Session.is_consistent_within budget (open_session ?max_extra omq d)
 
 (* ------------------------------------------------------------------ *)
 (* Analyses                                                             *)
@@ -120,20 +197,29 @@ let classify omq = Classify.Landscape.of_ontology omq.ontology
 let fragment omq = Gf.Fragment.of_ontology omq.ontology
 
 (* Materializability of the ontology on a concrete instance. *)
-let materializable_on ?max_model_extra ?max_extra omq d =
-  Material.Materializability.materializable_on ?max_model_extra ?max_extra
-    omq.ontology d
+let materializable_on ?budget ?max_model_extra ?max_extra omq d =
+  Material.Materializability.materializable_on ?budget ?max_model_extra
+    ?max_extra omq.ontology d
 
-(* The Theorem 5 type-based evaluation (binary signatures). *)
-let rewritten_certain ?extra omq d tuple =
+(* The Theorem 5 type-based evaluation (binary signatures). The
+   procedure's applicability failures surface as typed errors, not
+   exceptions. *)
+let rewritten_certain ?budget ?extra omq d tuple =
   match omq.query.Query.Ucq.disjuncts with
-  | [ cq ] -> Ok (Rewriting.Typeprog.entails ?extra omq.ontology cq d tuple)
+  | [ cq ] -> (
+      match Rewriting.Typeprog.entails ?budget ?extra omq.ontology cq d tuple with
+      | b -> Ok b
+      | exception Rewriting.Typeprog.Not_two_variable msg ->
+          Error (`Not_two_variable msg))
   | _ -> Error `Not_single_cq
 
 (* Theorem 13: decide PTIME query evaluation by bouquet
    materializability. *)
-let decide_ptime ?seed ?max_outdegree ?samples omq =
-  Classify.Decide.decide ?seed ?max_outdegree ?samples omq.ontology
+let decide_ptime ?budget ?seed ?max_outdegree ?samples omq =
+  Classify.Decide.decide ?budget ?seed ?max_outdegree ?samples omq.ontology
+
+let try_decide_ptime budget ?seed ?max_outdegree ?samples omq =
+  Classify.Decide.try_decide budget ?seed ?max_outdegree ?samples omq.ontology
 
 let pp ppf omq =
   Fmt.pf ppf "@[<v>ontology:@ %a@ query:@ %a@]" Logic.Ontology.pp omq.ontology

@@ -5,7 +5,15 @@
     Evaluation runs on the incremental {!Reasoner.Engine}: open a
     {!session} to ground (O, D) once and answer many tuples against it;
     the tuple-at-a-time entry points below are shorthands that fetch the
-    same cached sessions. *)
+    same cached sessions.
+
+    Every evaluation entry accepts a [?budget] (default
+    {!Reasoner.Budget.unlimited}). The plain forms raise
+    {!Reasoner.Budget.Exhausted} on a trip; the [_within] forms return a
+    typed {!Reasoner.Budget.outcome} and degrade gracefully —
+    {!Session.certain_answers_within} reports the tuples certified
+    before exhaustion plus the undecided candidate stream as a
+    resumption hint. *)
 
 type t = {
   ontology : Logic.Ontology.t;
@@ -19,8 +27,8 @@ val of_cq : Logic.Ontology.t -> Query.Cq.t -> t
 val of_tbox : Dl.Tbox.t -> Query.Ucq.t -> t
 
 (** An evaluation session for one (O, q, D): one engine per countermodel
-    bound 0..max_extra, grounded lazily on first use and shared through
-    the engine's LRU session cache. *)
+    bound 0..max_extra, grounded on first use and shared through the
+    engine's LRU session cache. *)
 type session
 
 val open_session : ?max_extra:int -> t -> Structure.Instance.t -> session
@@ -32,17 +40,42 @@ module Session : sig
   val max_extra : t -> int
 
   (** O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. *)
-  val certain : t -> Structure.Element.t list -> bool
+  val certain : ?budget:Reasoner.Budget.t -> t -> Structure.Element.t list -> bool
 
-  val is_consistent : t -> bool
+  val is_consistent : ?budget:Reasoner.Budget.t -> t -> bool
 
   (** Certain answers, streamed over the active domain without
       materializing the |dom|^arity candidate list. *)
-  val certain_answers_seq : t -> Structure.Element.t list Seq.t
+  val certain_answers_seq :
+    ?budget:Reasoner.Budget.t -> t -> Structure.Element.t list Seq.t
 
   (** All certain answers; boolean queries short-circuit on their single
       candidate. *)
-  val certain_answers : t -> Structure.Element.t list list
+  val certain_answers :
+    ?budget:Reasoner.Budget.t -> t -> Structure.Element.t list list
+
+  (** On a budget trip: tuples certified so far and the undecided
+      candidate tail (headed by the tuple in flight) — resume by
+      re-checking exactly the [undecided] stream. *)
+  type partial_answers = {
+    certified : Structure.Element.t list list;
+    undecided : Structure.Element.t list Seq.t;
+  }
+
+  (** Typed, gracefully degrading form of {!certain_answers}. *)
+  val certain_answers_within :
+    Reasoner.Budget.t ->
+    t ->
+    (Structure.Element.t list list, partial_answers) Reasoner.Budget.outcome
+
+  val certain_within :
+    Reasoner.Budget.t ->
+    t ->
+    Structure.Element.t list ->
+    (bool, unit) Reasoner.Budget.outcome
+
+  val is_consistent_within :
+    Reasoner.Budget.t -> t -> (bool, unit) Reasoner.Budget.outcome
 
   (** Aggregated {!Reasoner.Stats} of the engines this session forced. *)
   val stats : t -> Reasoner.Stats.t
@@ -51,17 +84,56 @@ end
 (** Certain answer O,D ⊨ q(ā); refutations are exact, confirmations hold
     up to [max_extra] fresh countermodel elements. *)
 val certain :
-  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list -> bool
+  ?budget:Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  Structure.Element.t list ->
+  bool
 
 (** All certain answers over the active domain. *)
 val certain_answers :
-  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list list
+  ?budget:Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  Structure.Element.t list list
 
 (** Streaming variant of {!certain_answers}. *)
 val certain_answers_seq :
-  ?max_extra:int -> t -> Structure.Instance.t -> Structure.Element.t list Seq.t
+  ?budget:Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  Structure.Element.t list Seq.t
 
-val is_consistent : ?max_extra:int -> t -> Structure.Instance.t -> bool
+val is_consistent :
+  ?budget:Reasoner.Budget.t -> ?max_extra:int -> t -> Structure.Instance.t -> bool
+
+(** Typed-outcome shorthands over a fresh session. *)
+
+val certain_within :
+  Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  Structure.Element.t list ->
+  (bool, unit) Reasoner.Budget.outcome
+
+val certain_answers_within :
+  Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  (Structure.Element.t list list, Session.partial_answers)
+  Reasoner.Budget.outcome
+
+val is_consistent_within :
+  Reasoner.Budget.t ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  (bool, unit) Reasoner.Budget.outcome
 
 (** Figure 1 classification of the ontology. *)
 val classify : t -> Classify.Landscape.evidence
@@ -71,19 +143,42 @@ val fragment : t -> Gf.Fragment.t option
 
 (** Materializability on an instance (bounded search). *)
 val materializable_on :
-  ?max_model_extra:int -> ?max_extra:int -> t -> Structure.Instance.t -> bool
+  ?budget:Reasoner.Budget.t ->
+  ?max_model_extra:int ->
+  ?max_extra:int ->
+  t ->
+  Structure.Instance.t ->
+  bool
 
 (** The Theorem 5 type-based evaluation; [Error `Not_single_cq] when the
-    query has more than one disjunct. *)
+    query has more than one disjunct, [Error (`Not_two_variable _)] when
+    the (O, q) pair leaves the binary/two-variable setting the procedure
+    supports. *)
 val rewritten_certain :
+  ?budget:Reasoner.Budget.t ->
   ?extra:int ->
   t ->
   Structure.Instance.t ->
   Structure.Element.t list ->
-  (bool, [ `Not_single_cq ]) result
+  (bool, [ `Not_single_cq | `Not_two_variable of string ]) result
 
 (** Theorem 13: decide PTIME query evaluation. *)
 val decide_ptime :
-  ?seed:int -> ?max_outdegree:int -> ?samples:int -> t -> Classify.Decide.verdict
+  ?budget:Reasoner.Budget.t ->
+  ?seed:int ->
+  ?max_outdegree:int ->
+  ?samples:int ->
+  t ->
+  Classify.Decide.verdict
+
+(** Typed form of {!decide_ptime}; the partial payload is the number of
+    bouquets fully checked before the trip. *)
+val try_decide_ptime :
+  Reasoner.Budget.t ->
+  ?seed:int ->
+  ?max_outdegree:int ->
+  ?samples:int ->
+  t ->
+  (Classify.Decide.verdict, int) Reasoner.Budget.outcome
 
 val pp : t Fmt.t

@@ -54,7 +54,10 @@ let tokenize ~line s =
       while !i < n && is_digit s.[!i] do
         incr i
       done;
-      toks := NUM (int_of_string (String.sub s start (!i - start))) :: !toks
+      let digits = String.sub s start (!i - start) in
+      match int_of_string_opt digits with
+      | Some v -> toks := NUM v :: !toks
+      | None -> error start (Printf.sprintf "numeral %s out of range" digits)
     end
     else begin
       let two = if !i + 1 < n then String.sub s !i 2 else "" in

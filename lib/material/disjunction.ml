@@ -21,13 +21,13 @@ let pp_witness ppf w =
 
 (* Check one candidate disjunction: [`Fails w] means the disjunction is
    certain but no disjunct is — the disjunction property fails. *)
-let check ?(max_extra = 2) o d pointed =
-  if not (Reasoner.Bounded.certain_disjunction ~max_extra o d pointed) then
-    `Disjunction_not_certain
+let check ?budget ?(max_extra = 2) o d pointed =
+  if not (Reasoner.Bounded.certain_disjunction ?budget ~max_extra o d pointed)
+  then `Disjunction_not_certain
   else
     match
       List.find_opt
-        (fun (q, t) -> Reasoner.Bounded.certain_cq ~max_extra o d q t)
+        (fun (q, t) -> Reasoner.Bounded.certain_cq ?budget ~max_extra o d q t)
         pointed
     with
     | Some _ -> `Holds
@@ -35,12 +35,12 @@ let check ?(max_extra = 2) o d pointed =
 
 (* Search a list of candidate (instance, disjunction) pairs for a
    violation. *)
-let find_violation ?max_extra o candidates =
+let find_violation ?budget ?max_extra o candidates =
   List.find_map
     (fun (d, pointed) ->
-      if not (Reasoner.Bounded.is_consistent ?max_extra o d) then None
+      if not (Reasoner.Bounded.is_consistent ?budget ?max_extra o d) then None
       else
-        match check ?max_extra o d pointed with
+        match check ?budget ?max_extra o d pointed with
         | `Fails w -> Some w
         | `Holds | `Disjunction_not_certain -> None)
     candidates

@@ -11,8 +11,11 @@ type witness = {
 
 val pp_witness : witness Fmt.t
 
-(** Check one candidate disjunction on an instance. *)
+(** Check one candidate disjunction on an instance. A [?budget] is
+    threaded into the bounded searches; a trip raises
+    {!Reasoner.Budget.Exhausted}. *)
 val check :
+  ?budget:Reasoner.Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -22,6 +25,7 @@ val check :
 (** First violation among candidate (instance, disjunction) pairs;
     inconsistent instances are skipped. *)
 val find_violation :
+  ?budget:Reasoner.Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   (Structure.Instance.t * pointed list) list ->

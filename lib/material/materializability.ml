@@ -64,7 +64,7 @@ let default_pool o d =
    engine: one grounding per countermodel bound, shared by every pointed
    query in the pool (the pool is quadratic in dom(D), so this is the
    hot path of the materializability search). *)
-let pool_certainty ?(max_extra = 2) o d pool =
+let pool_certainty ?budget ?(max_extra = 2) o d pool =
   let pool_signature =
     List.fold_left
       (fun s (q, _) -> Logic.Signature.union s (Query.Cq.signature q))
@@ -72,12 +72,15 @@ let pool_certainty ?(max_extra = 2) o d pool =
   in
   let engines =
     List.init (max_extra + 1) (fun k ->
-        Reasoner.Engine.session ~extra_signature:pool_signature ~extra:k o d)
+        Reasoner.Engine.session ?budget ~extra_signature:pool_signature
+          ~extra:k o d)
   in
   List.map
     (fun (q, tuple) ->
       let certain =
-        List.for_all (fun eng -> Reasoner.Engine.certain_cq eng q tuple) engines
+        List.for_all
+          (fun eng -> Reasoner.Engine.certain_cq ?budget eng q tuple)
+          engines
       in
       (q, tuple, certain))
     pool
@@ -88,10 +91,10 @@ let answers_like_certainty certainty b =
     certainty
 
 (* Does B answer the pool exactly like the certain answers? *)
-let is_materialization_for ?max_extra o d pool b =
+let is_materialization_for ?budget ?max_extra o d pool b =
   Structure.Instance.subset d b
   && Structure.Modelcheck.is_model b (Logic.Ontology.all_sentences o)
-  && answers_like_certainty (pool_certainty ?max_extra o d pool) b
+  && answers_like_certainty (pool_certainty ?budget ?max_extra o d pool) b
 
 (* Search for a materialization over the bounded domain. The certain
    answers of the pool are computed once; then a single SAT problem per
@@ -99,15 +102,15 @@ let is_materialization_for ?max_extra o d pool b =
    certain pool queries (certain ⇒ assert q, non-certain ⇒ assert ¬q).
    [max_model_extra] bounds the materialization's fresh nulls,
    [max_extra] the countermodel search behind the certainty labels. *)
-let find_materialization ?(max_model_extra = 2) ?(max_extra = 2) ?limit ?pool o
-    d =
+let find_materialization ?budget ?(max_model_extra = 2) ?(max_extra = 2) ?limit
+    ?pool o d =
   ignore limit;
   let pool = match pool with Some p -> p | None -> default_pool o d in
-  let certainty = pool_certainty ~max_extra o d pool in
+  let certainty = pool_certainty ?budget ~max_extra o d pool in
   let rec over_extras k =
     if k > max_model_extra then None
     else
-      match Reasoner.Bounded.pool_exact_model ~extra:k o d certainty with
+      match Reasoner.Bounded.pool_exact_model ?budget ~extra:k o d certainty with
       | Some b -> Some b
       | None -> over_extras (k + 1)
   in
@@ -115,7 +118,8 @@ let find_materialization ?(max_model_extra = 2) ?(max_extra = 2) ?limit ?pool o
 
 (* Materializable for an instance: consistent implies a materialization
    exists (within the bounds). *)
-let materializable_on ?max_model_extra ?max_extra ?limit ?pool o d =
-  (not (Reasoner.Engine.is_consistent_upto ?max_extra o d))
+let materializable_on ?budget ?max_model_extra ?max_extra ?limit ?pool o d =
+  (not (Reasoner.Engine.is_consistent_upto ?budget ?max_extra o d))
   || Option.is_some
-       (find_materialization ?max_model_extra ?max_extra ?limit ?pool o d)
+       (find_materialization ?budget ?max_model_extra ?max_extra ?limit ?pool o
+          d)

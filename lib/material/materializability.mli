@@ -14,8 +14,11 @@ type pointed = Query.Cq.t * Structure.Element.t list
 val default_pool :
   Logic.Ontology.t -> Structure.Instance.t -> pointed list
 
-(** Is [b] a materialization of O and [d] w.r.t. the pool? *)
+(** Is [b] a materialization of O and [d] w.r.t. the pool? All entry
+    points accept a [?budget] threaded into the underlying engine and
+    bounded searches; a trip raises {!Reasoner.Budget.Exhausted}. *)
 val is_materialization_for :
+  ?budget:Reasoner.Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -25,6 +28,7 @@ val is_materialization_for :
 
 (** Search the bounded models for a materialization. *)
 val find_materialization :
+  ?budget:Reasoner.Budget.t ->
   ?max_model_extra:int ->
   ?max_extra:int ->
   ?limit:int ->
@@ -35,6 +39,7 @@ val find_materialization :
 
 (** Inconsistent instances count as trivially materializable. *)
 val materializable_on :
+  ?budget:Reasoner.Budget.t ->
   ?max_model_extra:int ->
   ?max_extra:int ->
   ?limit:int ->

@@ -17,9 +17,12 @@ type violation = {
 type verdict =
   | Tolerant_on  (** both sides agree at the tested depth *)
   | Violation of violation
+  | Not_guarded of string
+      (** the tuple is not inside a guarded set (or its root bag is
+          missing), so Definition 3 does not apply *)
 
-let check ?(variant = Structure.Unravel.UGF) ?(depth = 3) ?(max_extra = 2) o d
-    (q : Query.Cq.t) tuple =
+let check ?budget ?(variant = Structure.Unravel.UGF) ?(depth = 3)
+    ?(max_extra = 2) o d (q : Query.Cq.t) tuple =
   let g = ESet.of_list tuple in
   (* Definition 3 takes ā maximally guarded; we accept any tuple inside
      a maximal guarded set and evaluate at its copy in that root bag. *)
@@ -28,32 +31,28 @@ let check ?(variant = Structure.Unravel.UGF) ?(depth = 3) ?(max_extra = 2) o d
       (fun h -> ESet.subset g h)
       (Structure.Guarded.maximal_guarded_sets d)
   in
-  let host =
-    match host with
-    | Some h -> h
-    | None -> invalid_arg "Tolerance.check: tuple not inside a guarded set"
-  in
-  let u = Structure.Unravel.unravel ~variant ~depth d in
-  let copies =
-    match Structure.Unravel.root_copy u host with
-    | Some c -> c
-    | None -> invalid_arg "Tolerance.check: no root bag for the guarded set"
-  in
-  let tuple' = List.map (fun e -> EMap.find e copies) tuple in
-  let on_d = Reasoner.Bounded.certain_cq ~max_extra o d q tuple in
-  let on_du =
-    Reasoner.Bounded.certain_cq ~max_extra o (Structure.Unravel.instance u) q
-      tuple'
-  in
-  if Bool.equal on_d on_du then Tolerant_on
-  else Violation { on_d; on_du; depth }
+  match host with
+  | None -> Not_guarded "tuple not inside a guarded set"
+  | Some host -> (
+      let u = Structure.Unravel.unravel ~variant ~depth d in
+      match Structure.Unravel.root_copy u host with
+      | None -> Not_guarded "no root bag for the guarded set"
+      | Some copies ->
+          let tuple' = List.map (fun e -> EMap.find e copies) tuple in
+          let on_d = Reasoner.Bounded.certain_cq ?budget ~max_extra o d q tuple in
+          let on_du =
+            Reasoner.Bounded.certain_cq ?budget ~max_extra o
+              (Structure.Unravel.instance u) q tuple'
+          in
+          if Bool.equal on_d on_du then Tolerant_on
+          else Violation { on_d; on_du; depth })
 
 (* Convenience: test tolerance of every element of [d] against a unary
-   rAQ. *)
-let check_unary ?variant ?depth ?max_extra o d q =
+   rAQ. Non-guarded elements are skipped (they carry no verdict). *)
+let check_unary ?budget ?variant ?depth ?max_extra o d q =
   List.filter_map
     (fun e ->
-      match check ?variant ?depth ?max_extra o d q [ e ] with
-      | Tolerant_on -> None
+      match check ?budget ?variant ?depth ?max_extra o d q [ e ] with
+      | Tolerant_on | Not_guarded _ -> None
       | Violation v -> Some (e, v))
     (Structure.Instance.domain_list d)

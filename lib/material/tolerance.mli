@@ -10,11 +10,15 @@ type violation = {
 type verdict =
   | Tolerant_on
   | Violation of violation
+  | Not_guarded of string
+      (** inapplicable input — the tuple is not inside a guarded set —
+          reported as a typed verdict rather than an exception *)
 
 (** Compare O,D ⊨ q(ā) with O,D{^u} ⊨ q(b̄) at the copy b̄ of ā in the
-    root bag of a maximal guarded set containing ā.
-    @raise Invalid_argument when ā is not inside any guarded set. *)
+    root bag of a maximal guarded set containing ā. Returns
+    [Not_guarded _] when ā is not inside any guarded set. *)
 val check :
+  ?budget:Reasoner.Budget.t ->
   ?variant:Structure.Unravel.variant ->
   ?depth:int ->
   ?max_extra:int ->
@@ -24,8 +28,10 @@ val check :
   Structure.Element.t list ->
   verdict
 
-(** Violations over all elements, for a unary query. *)
+(** Violations over all elements, for a unary query; non-guarded
+    elements are skipped. *)
 val check_unary :
+  ?budget:Reasoner.Budget.t ->
   ?variant:Structure.Unravel.variant ->
   ?depth:int ->
   ?max_extra:int ->

@@ -76,11 +76,14 @@ type result = {
   saturated : bool;  (** fixpoint reached within the round budget *)
 }
 
-let apply_rule inst rule =
+let apply_rule ?(budget = Budget.unlimited) inst rule =
   let changed = ref false in
   let out = ref inst in
   List.iter
     (fun bind ->
+      (* one checkpoint per trigger: between triggers the chased
+         instance is a sound (if unsaturated) prefix *)
+      Budget.checkpoint budget;
       if not (head_satisfied rule bind !out) then begin
         (* Extend the binding with fresh nulls for existential variables. *)
         let head_vars = atom_vars rule.head in
@@ -105,11 +108,12 @@ let apply_rule inst rule =
     (body_matches rule.body inst);
   (!out, !changed)
 
-let apply_egd inst e =
+let apply_egd ?(budget = Budget.unlimited) inst e =
   let changed = ref false in
   let out = ref inst in
   List.iter
     (fun bind ->
+      Budget.checkpoint budget;
       let a = SMap.find e.left bind and b = SMap.find e.right bind in
       if not (Structure.Element.equal a b) then
         match (a, b) with
@@ -134,22 +138,24 @@ let apply_egd inst e =
   (!out, !changed)
 
 (* Run the restricted chase for at most [max_rounds] rounds. Raises
-   [Egd_failure] when an EGD equates distinct constants (inconsistent). *)
-let run ?(max_rounds = 50) ?(egds = []) rules inst =
+   [Egd_failure] when an EGD equates distinct constants (inconsistent)
+   and [Budget.Exhausted] on a budget trip. *)
+let run ?(budget = Budget.unlimited) ?(max_rounds = 50) ?(egds = []) rules inst
+    =
   let rec go inst round =
     if round >= max_rounds then { instance = inst; saturated = false }
     else begin
       let inst', changed =
         List.fold_left
           (fun (i, ch) r ->
-            let i', ch' = apply_rule i r in
+            let i', ch' = apply_rule ~budget i r in
             (i', ch || ch'))
           (inst, false) rules
       in
       let inst'', changed' =
         List.fold_left
           (fun (i, ch) e ->
-            let i', ch' = apply_egd i e in
+            let i', ch' = apply_egd ~budget i e in
             (i', ch || ch'))
           (inst', changed) egds
       in
@@ -159,10 +165,42 @@ let run ?(max_rounds = 50) ?(egds = []) rules inst =
   in
   go inst 0
 
+(* Typed form: on a trip, the partial payload is the chase state after
+   the last fully completed round — every fact in it is entailed, so it
+   is a sound under-approximation of the universal model. *)
+let try_run budget ?(max_rounds = 50) ?(egds = []) rules inst =
+  let last = ref { instance = inst; saturated = false } in
+  Budget.protect budget
+    ~partial:(fun () -> !last)
+    (fun () ->
+      let rec go inst round =
+        if round >= max_rounds then { instance = inst; saturated = false }
+        else begin
+          let inst', changed =
+            List.fold_left
+              (fun (i, ch) r ->
+                let i', ch' = apply_rule ~budget i r in
+                (i', ch || ch'))
+              (inst, false) rules
+          in
+          let inst'', changed' =
+            List.fold_left
+              (fun (i, ch) e ->
+                let i', ch' = apply_egd ~budget i e in
+                (i', ch || ch'))
+              (inst', changed) egds
+          in
+          last := { instance = inst''; saturated = not changed' };
+          if changed' then go inst'' (round + 1)
+          else { instance = inst''; saturated = true }
+        end
+      in
+      go inst 0)
+
 (* Certain answers over the chase result: for Horn rule sets the chase
    is a universal model, so CQ answers over it (restricted to tuples of
    original constants) are exactly the certain answers. *)
-let certain_cq ?max_rounds ?egds rules inst q tuple =
-  match run ?max_rounds ?egds rules inst with
+let certain_cq ?budget ?max_rounds ?egds rules inst q tuple =
+  match run ?budget ?max_rounds ?egds rules inst with
   | { instance = chased; _ } -> Query.Cq.holds chased q tuple
   | exception Egd_failure _ -> true

@@ -32,14 +32,34 @@ type result = {
   saturated : bool;
 }
 
-(** Run the restricted chase for at most [max_rounds] rounds.
-    @raise Egd_failure when an EGD equates distinct constants. *)
+(** Run the restricted chase for at most [max_rounds] rounds. Budget
+    checkpoints sit between rule triggers, where the chased instance is
+    a sound prefix of the universal model.
+    @raise Egd_failure when an EGD equates distinct constants.
+    @raise Budget.Exhausted on a budget trip. *)
 val run :
-  ?max_rounds:int -> ?egds:egd list -> rule list -> Structure.Instance.t -> result
+  ?budget:Budget.t ->
+  ?max_rounds:int ->
+  ?egds:egd list ->
+  rule list ->
+  Structure.Instance.t ->
+  result
+
+(** Typed form of {!run}: on a trip the partial payload is the chase
+    state after the last fully completed round — a sound
+    under-approximation of the universal model. *)
+val try_run :
+  Budget.t ->
+  ?max_rounds:int ->
+  ?egds:egd list ->
+  rule list ->
+  Structure.Instance.t ->
+  (result, result) Budget.outcome
 
 (** Certain answer over the chase result; inconsistent instances entail
     everything. *)
 val certain_cq :
+  ?budget:Budget.t ->
   ?max_rounds:int ->
   ?egds:egd list ->
   rule list ->

@@ -341,7 +341,7 @@ let record_learned s lits =
    assumptions are simply re-planted. An assumption found false against
    the level-0-closed prefix refutes the query without poisoning the
    solver: [broken] is only set by genuine level-0 conflicts. *)
-let solve_assuming s assumptions =
+let solve_assuming ?(budget = Budget.unlimited) s assumptions =
   let assumptions = Array.of_list assumptions in
   Array.iter (fun l -> ensure_nvars s (lit_var l + 1)) assumptions;
   ensure_levels s (Array.length assumptions + s.nvars + 1);
@@ -350,7 +350,21 @@ let solve_assuming s assumptions =
   else begin
     let restart_budget = ref 100 in
     let conflicts = ref 0 in
+    (* Budget checkpoints sit between propagation/decision rounds, where
+       the solver's invariants hold: an [Exhausted] raised here leaves a
+       consistent trail that the next call simply cancels to level 0, so
+       an interrupted solver stays reusable. Fuel is debited by the
+       actual CDCL effort (propagations + conflicts) since the previous
+       checkpoint. *)
+    let effort = ref (s.n_propagations + s.n_conflicts) in
+    let tick () =
+      let now = s.n_propagations + s.n_conflicts in
+      let spent = now - !effort in
+      effort := now;
+      Budget.spend budget spent
+    in
     let rec loop () =
+      tick ();
       let conflict = propagate s in
       if conflict >= 0 then begin
         incr conflicts;
@@ -406,7 +420,7 @@ let is_broken s = s.broken
 (* One-shot interface (bounded model finder, tests)                     *)
 (* ------------------------------------------------------------------ *)
 
-let solve ~nvars clauses =
+let solve ?budget ~nvars clauses =
   let s = make ~nvars in
   (* seed activities with occurrence counts for a Jeroslow-Wang-ish
      initial order and initial phases *)
@@ -426,21 +440,22 @@ let solve ~nvars clauses =
     s.phase.(v) <- pos.(v) >= neg.(v)
   done;
   List.iter (fun c -> assert_clause s c) clauses;
-  solve_assuming s []
+  solve_assuming ?budget s []
 
 let lit_true model l = if l > 0 then model.(l - 1) else not model.(-l - 1)
 
 (* Enumerate satisfying assignments projected to the [project]ed
    literals. Incremental: one persistent solver, each found projection
    blocked by a new clause, learned clauses kept throughout. *)
-let enumerate ~nvars ~project ?(limit = max_int) clauses =
+let enumerate ?(budget = Budget.unlimited) ~nvars ~project ?(limit = max_int)
+    clauses =
   let s = make ~nvars in
   List.iter (fun c -> seed_clause s c) clauses;
   List.iter (fun c -> assert_clause s c) clauses;
   let rec go acc n =
     if n >= limit then List.rev acc
     else
-      match solve_assuming s [] with
+      match solve_assuming ~budget s [] with
       | Unsat -> List.rev acc
       | Sat model ->
           let blocking =

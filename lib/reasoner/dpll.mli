@@ -28,8 +28,11 @@ val assert_clause : t -> int list -> unit
 val seed_clause : t -> int list -> unit
 
 (** Solve the accumulated clauses under temporary assumption literals.
-    Learned clauses persist; assumptions do not. *)
-val solve_assuming : t -> int list -> result
+    Learned clauses persist; assumptions do not. With a [budget], the
+    CDCL loop checkpoints between propagation/decision rounds (debiting
+    fuel by propagations + conflicts) and may raise {!Budget.Exhausted};
+    the solver remains consistent and reusable after such a trip. *)
+val solve_assuming : ?budget:Budget.t -> t -> int list -> result
 
 (** The solver derived a contradiction at level 0: unsatisfiable no
     matter the assumptions, permanently. *)
@@ -38,8 +41,8 @@ val is_broken : t -> bool
 (** Cumulative (decisions, propagations, conflicts). *)
 val counters : t -> int * int * int
 
-(** One-shot solve. *)
-val solve : nvars:int -> int list list -> result
+(** One-shot solve. May raise {!Budget.Exhausted} when budgeted. *)
+val solve : ?budget:Budget.t -> nvars:int -> int list list -> result
 
 (** Truth of a literal in a model array. *)
 val lit_true : bool array -> int -> bool
@@ -48,6 +51,7 @@ val lit_true : bool array -> int -> bool
     each projection; stops at [limit]. Incremental underneath: one
     persistent solver, learned clauses kept across models. *)
 val enumerate :
+  ?budget:Budget.t ->
   nvars:int ->
   project:int list ->
   ?limit:int ->

@@ -10,7 +10,17 @@ module SMap = Logic.Names.SMap
    Query reifications are Tseitin *equivalences* (Ground.reify), i.e.
    definitional extensions: adding them never changes satisfiability of
    the base problem, which keeps the memoized consistency verdict and
-   all learned clauses sound as more queries arrive. *)
+   all learned clauses sound as more queries arrive.
+
+   Budgets: every operation accepts a [?budget] and installs it on the
+   session's grounder and solver for the duration of the call. A trip
+   raises [Budget.Exhausted] out of the plain forms (the [try_*] forms
+   return typed outcomes instead) but never corrupts the session:
+   cancellation points sit where the solver's invariants hold, and a
+   partially-emitted query reification is an unreferenced definitional
+   fragment that later solves may freely satisfy. The session answers
+   subsequent (unbudgeted) queries exactly like a fresh engine — the
+   test suite proves this by fault injection. *)
 
 type t = {
   ontology : Logic.Ontology.t;
@@ -20,6 +30,7 @@ type t = {
   solver : Dpll.t;
   reified : (Logic.Formula.t * (string * Structure.Element.t) list, int) Hashtbl.t;
   stats : Stats.t;
+  mutable budget : Budget.t;  (* installed per call; unlimited at rest *)
   mutable consistent : bool option;  (* memoized no-assumption verdict *)
 }
 
@@ -33,6 +44,19 @@ let tally t f =
   f t.stats;
   if t.stats != Stats.global then f Stats.global
 
+(* Run [f] with [b] installed as the session budget (both here and on
+   the grounder), restoring the unlimited budget afterwards — including
+   on an [Exhausted] trip, so a cached session is never left with a
+   spent budget attached. *)
+let with_budget t b f =
+  t.budget <- b;
+  Ground.set_budget t.ground b;
+  Fun.protect
+    ~finally:(fun () ->
+      t.budget <- Budget.unlimited;
+      Ground.set_budget t.ground Budget.unlimited)
+    f
+
 (* Push clauses produced by the grounder since the last sync into the
    persistent solver. *)
 let sync t =
@@ -44,22 +68,9 @@ let sync t =
     (Ground.drain_pending t.ground)
 
 let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.empty)
-    ~extra o d =
+    ?(budget = Budget.unlimited) ~extra o d =
   let t0 = Unix.gettimeofday () in
-  let nulls = Structure.Instance.fresh_nulls extra d in
-  let domain = Structure.Instance.domain_list d @ nulls in
-  let domain =
-    (* Interpretations are non-empty. *)
-    if domain = [] then [ Structure.Element.Const "e0" ] else domain
-  in
-  let signature =
-    Logic.Signature.union
-      (Logic.Ontology.signature o)
-      (Logic.Signature.union (Structure.Instance.signature d) extra_signature)
-  in
-  let g = Ground.create ~domain ~signature in
-  Ground.assert_instance g d;
-  List.iter (Ground.assert_formula g) (Logic.Ontology.all_sentences o);
+  let g = Problem.build ~budget ~extra_signature ~extra o d in
   let t =
     {
       ontology = o;
@@ -69,34 +80,44 @@ let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.emp
       solver = Dpll.make ~nvars:(Ground.nvars g);
       reified = Hashtbl.create 64;
       stats = st;
+      budget;
       consistent = None;
     }
   in
-  sync t;
+  Fun.protect
+    ~finally:(fun () ->
+      t.budget <- Budget.unlimited;
+      Ground.set_budget g Budget.unlimited)
+    (fun () -> sync t);
   let dt = Unix.gettimeofday () -. t0 in
   tally t (fun s ->
       s.Stats.groundings <- s.Stats.groundings + 1;
       s.Stats.ground_seconds <- s.Stats.ground_seconds +. dt);
   t
 
-(* One solver invocation, with counters and wall time credited. *)
+(* One solver invocation under the installed budget, with counters and
+   wall time credited (also on a budget trip, via protect). *)
 let run_solver t assumptions =
   let d0, p0, c0 = Dpll.counters t.solver in
   let t0 = Unix.gettimeofday () in
-  let result = Dpll.solve_assuming t.solver assumptions in
-  let dt = Unix.gettimeofday () -. t0 in
-  let d1, p1, c1 = Dpll.counters t.solver in
-  tally t (fun s ->
-      s.Stats.solves <- s.Stats.solves + 1;
-      s.Stats.decisions <- s.Stats.decisions + (d1 - d0);
-      s.Stats.propagations <- s.Stats.propagations + (p1 - p0);
-      s.Stats.conflicts <- s.Stats.conflicts + (c1 - c0);
-      s.Stats.solve_seconds <- s.Stats.solve_seconds +. dt);
-  result
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let d1, p1, c1 = Dpll.counters t.solver in
+      tally t (fun s ->
+          s.Stats.solves <- s.Stats.solves + 1;
+          s.Stats.decisions <- s.Stats.decisions + (d1 - d0);
+          s.Stats.propagations <- s.Stats.propagations + (p1 - p0);
+          s.Stats.conflicts <- s.Stats.conflicts + (c1 - c0);
+          s.Stats.solve_seconds <- s.Stats.solve_seconds +. dt))
+    (fun () -> Dpll.solve_assuming ~budget:t.budget t.solver assumptions)
 
 (* The literal equivalent to [f] under [env], memoized per session. New
    relations are admitted on demand (their facts are unconstrained by O
-   and D, which is exactly their semantics). *)
+   and D, which is exactly their semantics). The memo entry is written
+   only after the reification is fully emitted, so a budget trip
+   mid-reification leaves no dangling entry — the next call redoes the
+   (idempotent) registration and emits a fresh, complete reification. *)
 let reified_lit ?(env = SMap.empty) t f =
   let key = (f, SMap.bindings env) in
   match Hashtbl.find_opt t.reified key with
@@ -108,20 +129,24 @@ let reified_lit ?(env = SMap.empty) t f =
       Hashtbl.replace t.reified key l;
       l
 
-let find_model t =
-  match run_solver t [] with
-  | Dpll.Unsat -> None
-  | Dpll.Sat m -> Some (Ground.extract_model t.ground m)
+let find_model ?(budget = Budget.unlimited) t =
+  with_budget t budget (fun () ->
+      match run_solver t [] with
+      | Dpll.Unsat -> None
+      | Dpll.Sat m -> Some (Ground.extract_model t.ground m))
 
-let is_consistent t =
+let is_consistent ?(budget = Budget.unlimited) t =
   match t.consistent with
   | Some c -> c
   | None ->
-      let c =
-        match run_solver t [] with Dpll.Sat _ -> true | Dpll.Unsat -> false
-      in
-      t.consistent <- Some c;
-      c
+      with_budget t budget (fun () ->
+          let c =
+            match run_solver t [] with
+            | Dpll.Sat _ -> true
+            | Dpll.Unsat -> false
+          in
+          t.consistent <- Some c;
+          c)
 
 let answer_env (q : Query.Cq.t) tuple =
   List.fold_left2
@@ -131,36 +156,38 @@ let answer_env (q : Query.Cq.t) tuple =
 (* A countermodel to O,D ⊨ ⋁ qᵢ(āᵢ) over this session's domain: a model
    where every pointed disjunct fails, found by assuming the negation of
    each reified instantiation. *)
-let countermodel_pointed t pointed =
-  let assumptions =
-    List.map
-      (fun (cq, tuple) ->
-        let env = answer_env cq tuple in
-        -reified_lit ~env t (Query.Cq.to_formula cq))
-      pointed
-  in
-  match run_solver t assumptions with
-  | Dpll.Unsat -> None
-  | Dpll.Sat m -> Some (Ground.extract_model t.ground m)
+let countermodel_pointed ?(budget = Budget.unlimited) t pointed =
+  with_budget t budget (fun () ->
+      let assumptions =
+        List.map
+          (fun (cq, tuple) ->
+            let env = answer_env cq tuple in
+            -reified_lit ~env t (Query.Cq.to_formula cq))
+          pointed
+      in
+      match run_solver t assumptions with
+      | Dpll.Unsat -> None
+      | Dpll.Sat m -> Some (Ground.extract_model t.ground m))
 
-let countermodel t q tuple =
+let countermodel ?budget t q tuple =
   if List.length tuple <> Query.Ucq.arity q then
     invalid_arg "Engine.countermodel: tuple arity mismatch";
-  countermodel_pointed t
+  countermodel_pointed ?budget t
     (List.map (fun cq -> (cq, tuple)) (Query.Ucq.disjuncts q))
 
 (* Certainty at THIS session's domain bound: no countermodel with
    exactly [extra t] fresh nulls. *)
-let certain_ucq t q tuple = Option.is_none (countermodel t q tuple)
-let certain_cq t q tuple = certain_ucq t (Query.Ucq.of_cq q) tuple
+let certain_ucq ?budget t q tuple = Option.is_none (countermodel ?budget t q tuple)
+let certain_cq ?budget t q tuple = certain_ucq ?budget t (Query.Ucq.of_cq q) tuple
 
-let certain_disjunction t pointed =
-  Option.is_none (countermodel_pointed t pointed)
+let certain_disjunction ?budget t pointed =
+  Option.is_none (countermodel_pointed ?budget t pointed)
 
-let certain_formula ?(env = SMap.empty) t f =
-  match run_solver t [ -reified_lit ~env t f ] with
-  | Dpll.Unsat -> true
-  | Dpll.Sat _ -> false
+let certain_formula ?(budget = Budget.unlimited) ?(env = SMap.empty) t f =
+  with_budget t budget (fun () ->
+      match run_solver t [ -reified_lit ~env t f ] with
+      | Dpll.Unsat -> true
+      | Dpll.Sat _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* The session cache                                                    *)
@@ -168,7 +195,9 @@ let certain_formula ?(env = SMap.empty) t f =
 
 (* Sessions are keyed by (ontology digest, instance digest, extra
    bound) and evicted least-recently-used. Signatures are NOT part of
-   the key: sessions admit new query relations on demand. *)
+   the key: sessions admit new query relations on demand. A session is
+   cached only after its grounding completed, so a budget trip during
+   [create] never pollutes the cache with a half-built engine. *)
 
 type key = string * string * int
 
@@ -199,7 +228,7 @@ let set_cache_capacity n =
 let clear_cache () = sessions := []
 let cached_sessions () = List.length !sessions
 
-let session ?stats ?extra_signature ~extra o d =
+let session ?stats ?extra_signature ?budget ~extra o d =
   let key = (digest_ontology o, digest_instance d, extra) in
   match List.assoc_opt key !sessions with
   | Some t ->
@@ -207,7 +236,7 @@ let session ?stats ?extra_signature ~extra o d =
       tally t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
       t
   | None ->
-      let t = create ?stats ?extra_signature ~extra o d in
+      let t = create ?stats ?extra_signature ?budget ~extra o d in
       tally t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
       let rec take k = function
         | [] -> []
@@ -221,26 +250,76 @@ let session ?stats ?extra_signature ~extra o d =
 (* Iterative-deepening conveniences (Bounded-compatible semantics)      *)
 (* ------------------------------------------------------------------ *)
 
-let is_consistent_upto ?stats ?(max_extra = 2) o d =
+let is_consistent_upto ?stats ?budget ?(max_extra = 2) o d =
   let rec go k =
     k <= max_extra
-    && (is_consistent (session ?stats ~extra:k o d) || go (k + 1))
+    && (is_consistent ?budget (session ?stats ?budget ~extra:k o d) || go (k + 1))
   in
   go 0
 
-let certain_ucq_upto ?stats ?(max_extra = 2) o d q tuple =
+let certain_ucq_upto ?stats ?budget ?(max_extra = 2) o d q tuple =
   let rec go k =
     k > max_extra
-    || (certain_ucq (session ?stats ~extra:k o d) q tuple && go (k + 1))
+    || (certain_ucq ?budget (session ?stats ?budget ~extra:k o d) q tuple
+       && go (k + 1))
   in
   go 0
 
-let certain_cq_upto ?stats ?max_extra o d q tuple =
-  certain_ucq_upto ?stats ?max_extra o d (Query.Ucq.of_cq q) tuple
+let certain_cq_upto ?stats ?budget ?max_extra o d q tuple =
+  certain_ucq_upto ?stats ?budget ?max_extra o d (Query.Ucq.of_cq q) tuple
 
-let certain_disjunction_upto ?stats ?(max_extra = 2) o d pointed =
+let certain_disjunction_upto ?stats ?budget ?(max_extra = 2) o d pointed =
   let rec go k =
     k > max_extra
-    || (certain_disjunction (session ?stats ~extra:k o d) pointed && go (k + 1))
+    || (certain_disjunction ?budget (session ?stats ?budget ~extra:k o d) pointed
+       && go (k + 1))
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Typed-outcome entry points                                           *)
+(* ------------------------------------------------------------------ *)
+
+let try_is_consistent budget t =
+  Budget.protect budget
+    ~partial:(fun () -> ())
+    (fun () -> is_consistent ~budget t)
+
+let try_certain_ucq budget t q tuple =
+  Budget.protect budget
+    ~partial:(fun () -> ())
+    (fun () -> certain_ucq ~budget t q tuple)
+
+let try_certain_cq budget t q tuple =
+  try_certain_ucq budget t (Query.Ucq.of_cq q) tuple
+
+let try_is_consistent_upto budget ?stats ?(max_extra = 2) o d =
+  let completed = ref 0 in
+  Budget.protect budget
+    ~partial:(fun () -> !completed)
+    (fun () ->
+      let rec go k =
+        if k > max_extra then false
+        else if is_consistent ~budget (session ?stats ~budget ~extra:k o d)
+        then true
+        else begin
+          completed := k + 1;
+          go (k + 1)
+        end
+      in
+      go 0)
+
+let try_certain_ucq_upto budget ?stats ?(max_extra = 2) o d q tuple =
+  let completed = ref 0 in
+  Budget.protect budget
+    ~partial:(fun () -> !completed)
+    (fun () ->
+      let rec go k =
+        k > max_extra
+        || certain_ucq ~budget (session ?stats ~budget ~extra:k o d) q tuple
+           && begin
+                completed := k + 1;
+                go (k + 1)
+              end
+      in
+      go 0)

@@ -7,17 +7,27 @@
 
     Semantics match {!Bounded} exactly: a session at bound [extra]
     searches countermodels over dom(D) plus [extra] labelled nulls; the
-    [_upto] helpers reproduce the iterative-deepening ceilings. *)
+    [_upto] helpers reproduce the iterative-deepening ceilings.
+
+    Every operation accepts a [?budget] (default {!Budget.unlimited}).
+    The plain forms raise {!Budget.Exhausted} on a trip; the [try_*]
+    forms return a typed {!Budget.outcome}. A trip never corrupts a
+    session: cancellation points sit where the solver's invariants hold
+    and partially-emitted reifications are unreferenced definitional
+    fragments, so the session keeps answering later queries exactly like
+    a fresh engine. *)
 
 type t
 
 (** Ground (O, D) with exactly [extra] fresh nulls. [extra_signature]
     pre-registers further relations (query relations are also admitted
     on demand later). [stats] defaults to a fresh per-session record;
-    every update is mirrored into {!Stats.global}. *)
+    every update is mirrored into {!Stats.global}. May raise
+    {!Budget.Exhausted} while grounding when budgeted. *)
 val create :
   ?stats:Stats.t ->
   ?extra_signature:Logic.Signature.t ->
+  ?budget:Budget.t ->
   extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -29,38 +39,52 @@ val extra : t -> int
 val stats : t -> Stats.t
 
 (** A model of O and D over the session domain, if any. *)
-val find_model : t -> Structure.Instance.t option
+val find_model : ?budget:Budget.t -> t -> Structure.Instance.t option
 
-(** Memoized: solved once per session, sound because query reifications
-    are definitional extensions. *)
-val is_consistent : t -> bool
+(** Memoized: solved once per session (only a completed verdict is
+    memoized), sound because query reifications are definitional
+    extensions. *)
+val is_consistent : ?budget:Budget.t -> t -> bool
 
 (** A countermodel to O,D ⊨ q(ā) over the session domain, if any. *)
 val countermodel :
-  t -> Query.Ucq.t -> Structure.Element.t list -> Structure.Instance.t option
+  ?budget:Budget.t ->
+  t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  Structure.Instance.t option
 
 (** Certainty at this session's exact domain bound. *)
-val certain_ucq : t -> Query.Ucq.t -> Structure.Element.t list -> bool
+val certain_ucq :
+  ?budget:Budget.t -> t -> Query.Ucq.t -> Structure.Element.t list -> bool
 
-val certain_cq : t -> Query.Cq.t -> Structure.Element.t list -> bool
+val certain_cq :
+  ?budget:Budget.t -> t -> Query.Cq.t -> Structure.Element.t list -> bool
 
 (** O,D ⊨ q₁(ā₁) ∨ … ∨ qₙ(āₙ) at this session's bound. *)
 val certain_disjunction :
-  t -> (Query.Cq.t * Structure.Element.t list) list -> bool
+  ?budget:Budget.t -> t -> (Query.Cq.t * Structure.Element.t list) list -> bool
 
 (** Certain truth of an FO(=, counting) formula under an assignment. *)
 val certain_formula :
-  ?env:Structure.Element.t Logic.Names.SMap.t -> t -> Logic.Formula.t -> bool
+  ?budget:Budget.t ->
+  ?env:Structure.Element.t Logic.Names.SMap.t ->
+  t ->
+  Logic.Formula.t ->
+  bool
 
 (** {2 The session cache}
 
     Sessions are cached LRU, keyed by (ontology digest, instance digest,
-    extra bound); hits and misses are recorded in the stats records. *)
+    extra bound); hits and misses are recorded in the stats records. A
+    session enters the cache only after its grounding completed, so a
+    budget trip during construction never caches a half-built engine. *)
 
 (** Fetch or build the session for (O, D, extra). *)
 val session :
   ?stats:Stats.t ->
   ?extra_signature:Logic.Signature.t ->
+  ?budget:Budget.t ->
   extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -79,6 +103,7 @@ val cached_sessions : unit -> int
 
 val is_consistent_upto :
   ?stats:Stats.t ->
+  ?budget:Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -86,6 +111,7 @@ val is_consistent_upto :
 
 val certain_ucq_upto :
   ?stats:Stats.t ->
+  ?budget:Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -95,6 +121,7 @@ val certain_ucq_upto :
 
 val certain_cq_upto :
   ?stats:Stats.t ->
+  ?budget:Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -104,8 +131,48 @@ val certain_cq_upto :
 
 val certain_disjunction_upto :
   ?stats:Stats.t ->
+  ?budget:Budget.t ->
   ?max_extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
   (Query.Cq.t * Structure.Element.t list) list ->
   bool
+
+(** {2 Typed-outcome entry points}
+
+    Session-level forms carry no meaningful partial (unit); the [_upto]
+    forms report how many deepening bounds completed before the trip. *)
+
+val try_is_consistent : Budget.t -> t -> (bool, unit) Budget.outcome
+
+val try_certain_ucq :
+  Budget.t ->
+  t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  (bool, unit) Budget.outcome
+
+val try_certain_cq :
+  Budget.t ->
+  t ->
+  Query.Cq.t ->
+  Structure.Element.t list ->
+  (bool, unit) Budget.outcome
+
+val try_is_consistent_upto :
+  Budget.t ->
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  (bool, int) Budget.outcome
+
+val try_certain_ucq_upto :
+  Budget.t ->
+  ?stats:Stats.t ->
+  ?max_extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Query.Ucq.t ->
+  Structure.Element.t list ->
+  (bool, int) Budget.outcome

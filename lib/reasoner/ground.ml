@@ -16,6 +16,7 @@ type t = {
   mutable clauses : int list list;
   mutable pending : int list list;  (* clauses not yet drained by an engine *)
   mutable known : Logic.Signature.t;  (* relations with registered facts *)
+  mutable budget : Budget.t;  (* checked per registered fact and clause *)
 }
 
 type env = Structure.Element.t SMap.t
@@ -37,6 +38,10 @@ let register_signature t signature =
     (fun (rel, arity) ->
       List.iter
         (fun args ->
+          (* Registration is idempotent per fact, so a budget trip here
+             leaves a prefix that a later (unbudgeted) registration of
+             the same relation completes without duplication. *)
+          Budget.checkpoint t.budget;
           let f = Structure.Instance.fact rel args in
           if not (Hashtbl.mem t.fact_ids f) then begin
             t.nfacts <- t.nfacts + 1;
@@ -48,7 +53,7 @@ let register_signature t signature =
     (Logic.Signature.to_list signature);
   t.known <- Logic.Signature.union t.known signature
 
-let create ~domain ~signature =
+let create ?(budget = Budget.unlimited) ~domain ~signature () =
   let t =
     {
       domain = Array.of_list domain;
@@ -59,10 +64,13 @@ let create ~domain ~signature =
       clauses = [];
       pending = [];
       known = Logic.Signature.empty;
+      budget;
     }
   in
   register_signature t signature;
   t
+
+let set_budget t b = t.budget <- b
 
 (* Admit further relations after creation (for sessions that must answer
    queries whose signature was unknown at grounding time). The new fact
@@ -94,6 +102,11 @@ let fresh_aux t =
   t.nvars
 
 let add_clause t c =
+  (* One checkpoint per emitted ground clause: this is the grounding
+     cap's unit of account, and clause emission dominates grounding
+     cost, so deadlines are also observed here. Charged before the
+     clause lands, so [clauses] and [pending] stay in sync on a trip. *)
+  Budget.charge_clause t.budget;
   t.clauses <- c :: t.clauses;
   t.pending <- c :: t.pending
 
@@ -143,6 +156,11 @@ let rec subsets n = function
       List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
 
 let rec ground t env sign (f : F.t) =
+  (* Circuit construction touches no shared state until the Tseitin
+     clauses are emitted, so cancelling per grounded subformula is safe
+     and keeps quantifier expansion (|domain|^|vars| recursive calls)
+     responsive to deadlines. *)
+  Budget.checkpoint t.budget;
   match f with
   | F.True -> if sign then GTrue else GFalse
   | F.False -> if sign then GFalse else GTrue
@@ -268,17 +286,17 @@ let model_to_instance t model =
 let extract_model = model_to_instance
 
 let solve t =
-  match Dpll.solve ~nvars:t.nvars t.clauses with
+  match Dpll.solve ~budget:t.budget ~nvars:t.nvars t.clauses with
   | Dpll.Unsat -> None
   | Dpll.Sat model -> Some (model_to_instance t model)
 
 let enumerate ?(limit = max_int) t =
   let project = List.init t.nfacts (fun i -> i + 1) in
-  Dpll.enumerate ~nvars:t.nvars ~project ~limit t.clauses
+  Dpll.enumerate ~budget:t.budget ~nvars:t.nvars ~project ~limit t.clauses
   |> List.map (model_to_instance t)
 
 (* Enumerate the distinct truth-value combinations of the given
    (reified) literals over all models. *)
 let enumerate_projections ?(limit = max_int) t lits =
-  Dpll.enumerate ~nvars:t.nvars ~project:lits ~limit t.clauses
+  Dpll.enumerate ~budget:t.budget ~nvars:t.nvars ~project:lits ~limit t.clauses
   |> List.map (fun model -> List.map (Dpll.lit_true model) lits)

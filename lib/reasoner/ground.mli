@@ -9,10 +9,22 @@ type env = Structure.Element.t Logic.Names.SMap.t
 
 exception Unbound_variable of string
 
-(** [create ~domain ~signature] pre-registers every possible fact over
-    the domain for the given signature. *)
+(** [create ~domain ~signature ()] pre-registers every possible fact
+    over the domain for the given signature. The [budget] (default
+    {!Budget.unlimited}) is checked per registered fact, per grounded
+    subformula and per emitted clause, and passed to the solver; any of
+    these points may raise {!Budget.Exhausted}. A trip leaves the
+    grounding in a consistent, resumable state. *)
 val create :
-  domain:Structure.Element.t list -> signature:Logic.Signature.t -> t
+  ?budget:Budget.t ->
+  domain:Structure.Element.t list ->
+  signature:Logic.Signature.t ->
+  unit ->
+  t
+
+(** Replace the budget consulted by subsequent operations (e.g. to run
+    one query under a deadline against a long-lived session). *)
+val set_budget : t -> Budget.t -> unit
 
 (** SAT variable of a possible fact.
     @raise Invalid_argument for facts outside the signature/domain. *)

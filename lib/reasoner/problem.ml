@@ -1,0 +1,26 @@
+(* The shared grounding-problem builder: both the one-shot bounded model
+   finder (Bounded) and the incremental engine (Engine) search models of
+   (O, D) over dom(D) plus [extra] fresh labelled nulls. This module is
+   the single place that sets up that domain, the joint signature and
+   the base assertions. *)
+
+let domain ~extra d =
+  let nulls = Structure.Instance.fresh_nulls extra d in
+  let dom = Structure.Instance.domain_list d @ nulls in
+  (* Interpretations are non-empty. *)
+  if dom = [] then [ Structure.Element.Const "e0" ] else dom
+
+let signature ?(extra_signature = Logic.Signature.empty) o d =
+  Logic.Signature.union
+    (Logic.Ontology.signature o)
+    (Logic.Signature.union (Structure.Instance.signature d) extra_signature)
+
+let build ?budget ?extra_signature ~extra o d =
+  let g =
+    Ground.create ?budget ~domain:(domain ~extra d)
+      ~signature:(signature ?extra_signature o d)
+      ()
+  in
+  Ground.assert_instance g d;
+  List.iter (Ground.assert_formula g) (Logic.Ontology.all_sentences o);
+  g

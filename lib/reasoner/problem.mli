@@ -1,0 +1,26 @@
+(** The shared grounding-problem builder used by both {!Bounded} and
+    {!Engine}: models of (O, D) are sought over dom(D) plus [extra]
+    fresh labelled nulls, with the ontology's, the instance's and any
+    extra signature's relations registered. *)
+
+(** dom(D) plus [extra] fresh nulls (never empty). *)
+val domain : extra:int -> Structure.Instance.t -> Structure.Element.t list
+
+(** The joint signature of the ontology, the instance and
+    [extra_signature]. *)
+val signature :
+  ?extra_signature:Logic.Signature.t ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Logic.Signature.t
+
+(** [build ?budget ?extra_signature ~extra o d] grounds O and D over the
+    bounded domain: instance facts asserted, all ontology sentences
+    asserted. May raise {!Budget.Exhausted} when budgeted. *)
+val build :
+  ?budget:Budget.t ->
+  ?extra_signature:Logic.Signature.t ->
+  extra:int ->
+  Logic.Ontology.t ->
+  Structure.Instance.t ->
+  Ground.t

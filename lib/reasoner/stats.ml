@@ -13,6 +13,8 @@ type t = {
   mutable conflicts : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable budget_timeouts : int;
+  mutable budget_fuel_trips : int;
   mutable ground_seconds : float;
   mutable solve_seconds : float;
 }
@@ -26,6 +28,8 @@ let create () =
     conflicts = 0;
     cache_hits = 0;
     cache_misses = 0;
+    budget_timeouts = 0;
+    budget_fuel_trips = 0;
     ground_seconds = 0.0;
     solve_seconds = 0.0;
   }
@@ -42,6 +46,8 @@ let reset t =
   t.conflicts <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
+  t.budget_timeouts <- 0;
+  t.budget_fuel_trips <- 0;
   t.ground_seconds <- 0.0;
   t.solve_seconds <- 0.0
 
@@ -55,6 +61,8 @@ let add ~into t =
   into.conflicts <- into.conflicts + t.conflicts;
   into.cache_hits <- into.cache_hits + t.cache_hits;
   into.cache_misses <- into.cache_misses + t.cache_misses;
+  into.budget_timeouts <- into.budget_timeouts + t.budget_timeouts;
+  into.budget_fuel_trips <- into.budget_fuel_trips + t.budget_fuel_trips;
   into.ground_seconds <- into.ground_seconds +. t.ground_seconds;
   into.solve_seconds <- into.solve_seconds +. t.solve_seconds
 
@@ -69,14 +77,17 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>groundings:   %d (%.4fs)@ solves:       %d (%.4fs)@ decisions:    \
      %d@ propagations: %d@ conflicts:    %d@ cache:        %d hit(s), %d \
-     miss(es)@]"
+     miss(es)@ budget trips: %d timeout(s), %d fuel@]"
     t.groundings t.ground_seconds t.solves t.solve_seconds t.decisions
-    t.propagations t.conflicts t.cache_hits t.cache_misses
+    t.propagations t.conflicts t.cache_hits t.cache_misses t.budget_timeouts
+    t.budget_fuel_trips
 
 let to_json t =
   Printf.sprintf
     "{\"groundings\":%d,\"solves\":%d,\"decisions\":%d,\"propagations\":%d,\
      \"conflicts\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"budget_timeouts\":%d,\"budget_fuel_trips\":%d,\
      \"ground_seconds\":%.6f,\"solve_seconds\":%.6f}"
     t.groundings t.solves t.decisions t.propagations t.conflicts t.cache_hits
-    t.cache_misses t.ground_seconds t.solve_seconds
+    t.cache_misses t.budget_timeouts t.budget_fuel_trips t.ground_seconds
+    t.solve_seconds

@@ -11,6 +11,8 @@ type t = {
   mutable conflicts : int;
   mutable cache_hits : int;  (** session-cache lookups that reused an engine *)
   mutable cache_misses : int;  (** lookups that had to ground *)
+  mutable budget_timeouts : int;  (** budget trips on a wall-clock deadline *)
+  mutable budget_fuel_trips : int;  (** budget trips on fuel / clause caps *)
   mutable ground_seconds : float;  (** wall time spent grounding *)
   mutable solve_seconds : float;  (** wall time spent in the solver *)
 }

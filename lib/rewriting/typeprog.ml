@@ -147,7 +147,7 @@ type types = {
 let ea = Structure.Element.Const "ta"
 let eb = Structure.Element.Const "tb"
 
-let enumerate_types ?(extra = 2) ?(limit = 32768) cl =
+let enumerate_types ?budget ?(extra = 2) ?(limit = 32768) cl =
   let o = cl.ontology in
   let signature =
     Logic.Signature.union (Logic.Ontology.signature o)
@@ -155,7 +155,9 @@ let enumerate_types ?(extra = 2) ?(limit = 32768) cl =
   in
   let base k elems =
     let nulls = List.init k (fun i -> Structure.Element.Null (1000 + i)) in
-    let g = Reasoner.Ground.create ~domain:(elems @ nulls) ~signature in
+    let g =
+      Reasoner.Ground.create ?budget ~domain:(elems @ nulls) ~signature ()
+    in
     List.iter (Reasoner.Ground.assert_formula g) (Logic.Ontology.all_sentences o);
     g
   in
@@ -313,7 +315,7 @@ let tuple_elements = function
   | Pair (u, v) -> [ u; v ]
   | Single a -> [ a ]
 
-let prune state =
+let prune ?(budget = Reasoner.Budget.unlimited) state =
   let n = Array.length state.tuples in
   (* index: element -> tuple indices *)
   let by_elem = Hashtbl.create 16 in
@@ -338,6 +340,9 @@ let prune state =
   in
   let changed = ref true in
   while !changed do
+    (* one checkpoint per pruning pass: between passes every surviving
+       set is a sound over-approximation, so a trip here is clean *)
+    Reasoner.Budget.checkpoint budget;
     changed := false;
     let proj_sets = Hashtbl.create 16 in
     Array.iteri
@@ -376,14 +381,14 @@ let prune state =
 (* Entailment                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run ?extra ?limit o q d =
+let run ?budget ?extra ?limit o q d =
   let cl = closure o q in
-  let t = enumerate_types ?extra ?limit cl in
+  let t = enumerate_types ?budget ?extra ?limit cl in
   let tuples = Array.of_list (tuples_of_instance d) in
   let state =
     { t; tuples; sets = Array.map (initial_types t d) tuples }
   in
-  prune state;
+  prune ?budget state;
   state
 
 (* Does every surviving type of the tuple contain the query at the
@@ -428,8 +433,8 @@ let tuple_answers state tuple_idx answer =
 
 (* The evaluation: inconsistency (an empty surviving set) answers
    everything; otherwise some tuple covering ā must answer. *)
-let entails ?extra ?limit o q d answer =
-  let state = run ?extra ?limit o q d in
+let entails ?budget ?extra ?limit o q d answer =
+  let state = run ?budget ?extra ?limit o q d in
   Array.exists (fun s -> s = []) state.sets
   || Array.exists
        (fun i -> tuple_answers state i answer)

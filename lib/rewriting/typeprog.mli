@@ -24,14 +24,18 @@ val size : closure -> int
 type types
 
 (** Realizable types, enumerated as projections of bounded models of O
-    onto the reified closure ([extra] fresh witness elements). *)
-val enumerate_types : ?extra:int -> ?limit:int -> closure -> types
+    onto the reified closure ([extra] fresh witness elements). May raise
+    {!Reasoner.Budget.Exhausted} when budgeted. *)
+val enumerate_types :
+  ?budget:Reasoner.Budget.t -> ?extra:int -> ?limit:int -> closure -> types
 
 type state
 
 (** Assign initial type sets to the instance's guarded tuples and prune
-    to the fixpoint. *)
+    to the fixpoint. Budget checkpoints sit between pruning passes,
+    where the surviving sets are a sound over-approximation. *)
 val run :
+  ?budget:Reasoner.Budget.t ->
   ?extra:int ->
   ?limit:int ->
   Logic.Ontology.t ->
@@ -41,6 +45,7 @@ val run :
 
 (** The rewritten evaluation of q(ā) on D. *)
 val entails :
+  ?budget:Reasoner.Budget.t ->
   ?extra:int ->
   ?limit:int ->
   Logic.Ontology.t ->

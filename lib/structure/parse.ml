@@ -47,3 +47,10 @@ let instance_of_string text =
       else (Instance.add_fact (parse_fact ~line s) inst, line))
     (Instance.empty, 0) lines
   |> fst
+
+(* Non-raising form: malformed input is data, not an exception. *)
+let instance_of_string_result text =
+  match instance_of_string text with
+  | inst -> Ok inst
+  | exception Parse_error { line; message } ->
+      Error (Printf.sprintf "line %d: %s" line message)

@@ -4,3 +4,6 @@
 exception Parse_error of { line : int; message : string }
 
 val instance_of_string : string -> Instance.t
+
+(** Non-raising form; [Error] carries ["line N: message"]. *)
+val instance_of_string_result : string -> (Instance.t, string) result

@@ -8,6 +8,7 @@ let () =
       ("dl", Test_dl.suite);
       ("reasoner", Test_reasoner.suite);
       ("engine", Test_engine.suite);
+      ("budget", Test_budget.suite);
       ("datalog", Test_datalog.suite);
       ("material", Test_material.suite);
       ("csp", Test_csp.suite);
