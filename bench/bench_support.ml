@@ -87,7 +87,4 @@ let random_graph ~rng ~n ~p =
 let qc = Query.Parse.cq_of_string "q(x) <- C(x)"
 let thumb = Query.Parse.cq_of_string "q(x) <- Thumb(x)"
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time f = Obs.Clock.timed f

@@ -129,11 +129,14 @@ let engine_table () =
       let agree =
         List.sort compare seed_answers = List.sort compare eng_answers
       in
-      Fmt.pr "%-8d %-12d %-10d %-12.4f %-12.4f %-9s %d grounding(s), %d solve(s)%s@."
-        n (List.length candidates) (List.length eng_answers) t_seed t_eng
+      Fmt.pr "%-8d %-12d %-10d %-12.4f %-12.4f %-9s %s@." n
+        (List.length candidates) (List.length eng_answers) t_seed t_eng
         (Fmt.str "%.1fx" (t_seed /. t_eng))
-        st.Reasoner.Stats.groundings st.Reasoner.Stats.solves
-        (if agree then "" else "  MISMATCH"))
+        (if agree then "" else "MISMATCH");
+      Fmt.pr "         stats: %s@." (Reasoner.Stats.to_json st);
+      let prefix = Fmt.str "bench.engine.chain%d" n in
+      Reasoner.Stats.publish ~prefix st;
+      Obs.Metrics.set Obs.Metrics.global (prefix ^ ".speedup") (t_seed /. t_eng))
     [ 4; 8 ]
 
 let thm5_table () =
@@ -323,7 +326,11 @@ let run_benchmarks () =
           let result = Analyze.one ols Instance.monotonic_clock raw in
           let estimate =
             match Analyze.OLS.estimates result with
-            | Some [ est ] -> Fmt.str "%.3f ms/run" (est /. 1e6)
+            | Some [ est ] ->
+                Obs.Metrics.set Obs.Metrics.global
+                  ("bench." ^ name ^ ".ms_per_run")
+                  (est /. 1e6);
+                Fmt.str "%.3f ms/run" (est /. 1e6)
             | _ -> "n/a"
           in
           Fmt.pr "%-22s %s@." name estimate)
@@ -332,6 +339,15 @@ let run_benchmarks () =
            (Benchmark.all cfg Instance.[ monotonic_clock ] test)
            []))
     tests
+
+(* Every metric the tables and micro-benchmarks recorded, as one flat
+   JSON object keyed by metric name. *)
+let write_metrics path =
+  let oc = open_out path in
+  output_string oc (Obs.Metrics.to_json Obs.Metrics.global);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.metrics written to %s@." path
 
 let () =
   Fmt.pr "Reproduction harness: Hernich, Lutz, Papacchini, Wolter — PODS'17@.";
@@ -347,4 +363,6 @@ let () =
   thm3_table ();
   unravel_table ();
   run_benchmarks ();
+  Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
+  write_metrics "BENCH_omq.json";
   Fmt.pr "@.done.@."

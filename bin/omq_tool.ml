@@ -135,6 +135,50 @@ let reason_name = function
   | Reasoner.Budget.Fuel -> "out_of_fuel"
 
 (* ------------------------------------------------------------------ *)
+(* Tracing: --trace FILE installs an Obs collector for the duration of
+   the command and exports it in the requested format; --profile prints
+   a per-phase self/total table (to stderr, so --json stays clean on
+   stdout). Both work together and compose with budget trips: a tripped
+   run exports a closed trace whose root span carries the reason. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a trace of the run and write it to $(docv). The default \
+           format loads into chrome://tracing or ui.perfetto.dev; see \
+           $(b,--trace-format).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", Obs.Export.Chrome); ("jsonl", Obs.Export.Jsonl) ])
+        Obs.Export.Chrome
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,chrome) (trace-event JSON) or $(b,jsonl).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a per-phase profile (span name, count, self and total \
+           seconds) on stderr after the command.")
+
+let with_tracing trace fmt profile f =
+  if trace = None && not profile then f ()
+  else begin
+    let r, c = Obs.Trace.collect f in
+    if profile then
+      Fmt.epr "%a@." Obs.Export.pp_profile (Obs.Export.profile c);
+    match Option.iter (fun path -> Obs.Export.to_file fmt c path) trace with
+    | () -> r
+    | exception Sys_error m -> Error m
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let ontology_arg =
   Arg.(
@@ -143,8 +187,9 @@ let ontology_arg =
     & info [] ~docv:"ONTOLOGY" ~doc:"DL ontology file (one axiom per line).")
 
 let classify_cmd =
-  let run path json =
+  let run path json trace fmt profile =
     run_result @@ fun () ->
+    with_tracing trace fmt profile @@ fun () ->
     let* tbox = load_tbox path in
     let o = Dl.Translate.tbox tbox in
     let fragment = Gf.Fragment.of_ontology o in
@@ -175,7 +220,9 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Locate an ontology in the Figure 1 landscape.")
-    Term.(const run $ ontology_arg $ json_arg)
+    Term.(
+      const run $ ontology_arg $ json_arg $ trace_arg $ trace_format_arg
+      $ profile_arg)
 
 let eval_cmd =
   let data_arg =
@@ -199,8 +246,9 @@ let eval_cmd =
       & info [ "stats" ]
           ~doc:"Report engine counters (groundings, solves, cache traffic).")
   in
-  let run path data query max_extra timeout fuel json stats =
+  let run path data query max_extra timeout fuel json stats trace fmt profile =
     run_result @@ fun () ->
+    with_tracing trace fmt profile @@ fun () ->
     let* tbox = load_tbox path in
     let* d = load_instance data in
     let* q = load_query query in
@@ -318,7 +366,8 @@ let eval_cmd =
           resumption hint and exits 124 (timeout) or 125 (fuel).")
     Term.(
       const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ timeout_arg
-      $ fuel_arg $ json_arg $ stats_arg)
+      $ fuel_arg $ json_arg $ stats_arg $ trace_arg $ trace_format_arg
+      $ profile_arg)
 
 let fig1_cmd =
   let run json =
@@ -371,8 +420,9 @@ let decide_cmd =
   let out_arg =
     Arg.(value & opt int 5 & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
   in
-  let run path max_outdegree timeout fuel json =
+  let run path max_outdegree timeout fuel json trace fmt profile =
     run_result @@ fun () ->
+    with_tracing trace fmt profile @@ fun () ->
     let* tbox = load_tbox path in
     let o = Dl.Translate.tbox tbox in
     let budget = budget_of timeout fuel in
@@ -428,7 +478,9 @@ let decide_cmd =
          "Decide PTIME query evaluation by bouquet materializability \
           (Theorem 13). With $(b,--timeout) or $(b,--fuel) a tripped budget \
           reports the bouquets checked so far and exits 124 or 125.")
-    Term.(const run $ ontology_arg $ out_arg $ timeout_arg $ fuel_arg $ json_arg)
+    Term.(
+      const run $ ontology_arg $ out_arg $ timeout_arg $ fuel_arg $ json_arg
+      $ trace_arg $ trace_format_arg $ profile_arg)
 
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in

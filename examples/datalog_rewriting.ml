@@ -118,7 +118,7 @@ let () =
                      Structure.Element.Const (Printf.sprintf "n%d" (i + 1));
                    ] )))
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       let _ = Datalog.Seminaive.answers rewriting d in
-      Fmt.pr "  n=%-4d datalog %.4fs@." n (Unix.gettimeofday () -. t0))
+      Fmt.pr "  n=%-4d datalog %.4fs@." n (Obs.Clock.now () -. t0))
     [ 10; 50; 100 ]

@@ -147,13 +147,39 @@ let decide ?(budget = Reasoner.Budget.unlimited) ?(on_checked = ignore)
             ~max_model_extra:(max_model_extra + verify_extra)
             ~max_extra:(max_extra + verify_extra) o b)
   in
+  Obs.Trace.with_span
+    ~attrs:[ ("candidates", Obs.Trace.Int (List.length candidates)) ]
+    "classify.decide"
+  @@ fun () ->
   let rec go checked = function
-    | [] -> Ptime_evidence checked
+    | [] ->
+        if Obs.Trace.enabled () then
+          Obs.Trace.add_attr "checked" (Obs.Trace.Int checked);
+        Ptime_evidence checked
     | b :: rest ->
         (* one checkpoint per bouquet: verdicts on checked bouquets are
            final, so a trip here loses only the unchecked tail *)
         Reasoner.Budget.checkpoint budget;
-        if non_materializable b then Conp_hard b
+        let hard =
+          Obs.Trace.with_span
+            ~attrs:
+              [
+                ("bouquet", Obs.Trace.Int checked);
+                ( "domain",
+                  Obs.Trace.Int (Structure.Instance.domain_size b) );
+              ]
+            "classify.bouquet"
+            (fun () ->
+              let hard = non_materializable b in
+              if Obs.Trace.enabled () then
+                Obs.Trace.add_attr "conp_witness" (Obs.Trace.Bool hard);
+              hard)
+        in
+        if hard then begin
+          if Obs.Trace.enabled () then
+            Obs.Trace.add_attr "checked" (Obs.Trace.Int checked);
+          Conp_hard b
+        end
         else begin
           on_checked (checked + 1);
           go (checked + 1) rest

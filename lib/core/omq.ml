@@ -71,13 +71,21 @@ module Session = struct
   (* O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. Bounds are
      visited in order, so a refuted tuple never grounds deeper bounds. *)
   let certain ?budget s tuple =
+    Obs.Trace.with_span "omq.certain" @@ fun () ->
+    if Obs.Trace.enabled () then
+      Obs.Trace.add_attr "tuple"
+        (Obs.Trace.Str
+           (String.concat "," (List.map Structure.Element.to_string tuple)));
     let rec go k =
       k > s.max_extra
       || (Reasoner.Engine.certain_ucq ?budget (engine ?budget s k)
             s.omq.query tuple
          && go (k + 1))
     in
-    go 0
+    let r = go 0 in
+    if Obs.Trace.enabled () then
+      Obs.Trace.add_attr "certain" (Obs.Trace.Bool r);
+    r
 
   let is_consistent ?budget s =
     let rec go k =
@@ -105,9 +113,18 @@ module Session = struct
   (* Boolean queries short-circuit on their single candidate; n-ary
      queries stream, never materializing the |dom|^n candidate list. *)
   let certain_answers ?budget s =
-    if Query.Ucq.is_boolean s.omq.query then
-      if certain ?budget s [] then [ [] ] else []
-    else List.of_seq (certain_answers_seq ?budget s)
+    Obs.Trace.with_span
+      ~attrs:[ ("op", Obs.Trace.Str "certain_answers") ]
+      "omq.query"
+    @@ fun () ->
+    let answers =
+      if Query.Ucq.is_boolean s.omq.query then
+        if certain ?budget s [] then [ [] ] else []
+      else List.of_seq (certain_answers_seq ?budget s)
+    in
+    if Obs.Trace.enabled () then
+      Obs.Trace.add_attr "answers" (Obs.Trace.Int (List.length answers));
+    answers
 
   (* Graceful degradation: on a trip, report the tuples already
      certified and the undecided candidate tail (headed by the tuple in
@@ -117,7 +134,15 @@ module Session = struct
     undecided : Structure.Element.t list Seq.t;
   }
 
+  (* The root span opens OUTSIDE Budget.protect: when a trip unwinds,
+     the inner spans close with the classifier label and protect's
+     handler stamps the trip status on this still-open root — so a
+     budget-tripped trace exports with a closed, labelled root. *)
   let certain_answers_within budget s =
+    Obs.Trace.with_span
+      ~attrs:[ ("op", Obs.Trace.Str "certain_answers_within") ]
+      "omq.query"
+    @@ fun () ->
     let certified = ref [] in
     let cursor = ref (candidates s) in
     Reasoner.Budget.protect budget
@@ -136,11 +161,19 @@ module Session = struct
         List.rev !certified)
 
   let certain_within budget s tuple =
+    Obs.Trace.with_span
+      ~attrs:[ ("op", Obs.Trace.Str "certain_within") ]
+      "omq.query"
+    @@ fun () ->
     Reasoner.Budget.protect budget
       ~partial:(fun () -> ())
       (fun () -> certain ~budget s tuple)
 
   let is_consistent_within budget s =
+    Obs.Trace.with_span
+      ~attrs:[ ("op", Obs.Trace.Str "is_consistent_within") ]
+      "omq.query"
+    @@ fun () ->
     Reasoner.Budget.protect budget
       ~partial:(fun () -> ())
       (fun () -> is_consistent ~budget s)

@@ -22,6 +22,10 @@ let pp_witness ppf w =
 (* Check one candidate disjunction: [`Fails w] means the disjunction is
    certain but no disjunct is — the disjunction property fails. *)
 let check ?budget ?(max_extra = 2) o d pointed =
+  Obs.Trace.with_span
+    ~attrs:[ ("disjuncts", Obs.Trace.Int (List.length pointed)) ]
+    "material.disjunction_check"
+  @@ fun () ->
   if not (Reasoner.Bounded.certain_disjunction ?budget ~max_extra o d pointed)
   then `Disjunction_not_certain
   else

@@ -65,6 +65,10 @@ let default_pool o d =
    query in the pool (the pool is quadratic in dom(D), so this is the
    hot path of the materializability search). *)
 let pool_certainty ?budget ?(max_extra = 2) o d pool =
+  Obs.Trace.with_span
+    ~attrs:[ ("pool", Obs.Trace.Int (List.length pool)) ]
+    "material.pool_certainty"
+  @@ fun () ->
   let pool_signature =
     List.fold_left
       (fun s (q, _) -> Logic.Signature.union s (Query.Cq.signature q))
@@ -104,6 +108,7 @@ let is_materialization_for ?budget ?max_extra o d pool b =
    [max_extra] the countermodel search behind the certainty labels. *)
 let find_materialization ?budget ?(max_model_extra = 2) ?(max_extra = 2) ?limit
     ?pool o d =
+  Obs.Trace.with_span "material.find_materialization" @@ fun () ->
   ignore limit;
   let pool = match pool with Some p -> p | None -> default_pool o d in
   let certainty = pool_certainty ?budget ~max_extra o d pool in
@@ -119,7 +124,13 @@ let find_materialization ?budget ?(max_model_extra = 2) ?(max_extra = 2) ?limit
 (* Materializable for an instance: consistent implies a materialization
    exists (within the bounds). *)
 let materializable_on ?budget ?max_model_extra ?max_extra ?limit ?pool o d =
-  (not (Reasoner.Engine.is_consistent_upto ?budget ?max_extra o d))
-  || Option.is_some
-       (find_materialization ?budget ?max_model_extra ?max_extra ?limit ?pool o
-          d)
+  Obs.Trace.with_span "material.materializable_on" @@ fun () ->
+  let r =
+    (not (Reasoner.Engine.is_consistent_upto ?budget ?max_extra o d))
+    || Option.is_some
+         (find_materialization ?budget ?max_model_extra ?max_extra ?limit ?pool
+            o d)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.add_attr "materializable" (Obs.Trace.Bool r);
+  r

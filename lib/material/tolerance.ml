@@ -23,6 +23,10 @@ type verdict =
 
 let check ?budget ?(variant = Structure.Unravel.UGF) ?(depth = 3)
     ?(max_extra = 2) o d (q : Query.Cq.t) tuple =
+  Obs.Trace.with_span
+    ~attrs:[ ("depth", Obs.Trace.Int depth) ]
+    "material.tolerance_check"
+  @@ fun () ->
   let g = ESet.of_list tuple in
   (* Definition 3 takes ā maximally guarded; we accept any tuple inside
      a maximal guarded set and evaluate at its copy in that root bag. *)

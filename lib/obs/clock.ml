@@ -1,0 +1,24 @@
+(* The one clock of the repository. Everything that measures elapsed
+   time — span boundaries, Stats phase seconds, bench table timings —
+   reads it from here, so the "no wall-clock reads outside lib/obs"
+   lint has a single sanctioned home. The only other sanctioned caller
+   is Reasoner.Budget, whose deadlines are *wall-clock* contracts with
+   the user and must not be monotone-clamped.
+
+   [now] is monotone: raw gettimeofday can step backwards under NTP
+   adjustment, and a negative span duration would corrupt every trace
+   consumer (Perfetto rejects the file), so we clamp against the last
+   value handed out. *)
+
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+(* Run [f] and return its result with its wall time. *)
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

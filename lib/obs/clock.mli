@@ -1,0 +1,13 @@
+(** The repository's clock: monotone wall time in seconds.
+
+    All elapsed-time measurement goes through this module (enforced by
+    the CI lint forbidding [Unix.gettimeofday] elsewhere, except
+    [Reasoner.Budget], whose deadlines are genuine wall-clock
+    contracts). The value is clamped to never decrease, so durations
+    derived from two reads are non-negative even across clock steps. *)
+
+(** Seconds since the Unix epoch, monotone non-decreasing across calls. *)
+val now : unit -> float
+
+(** [timed f] runs [f], returning its result and its wall time. *)
+val timed : (unit -> 'a) -> ('a * float)

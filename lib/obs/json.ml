@@ -1,0 +1,35 @@
+(* Minimal JSON rendering shared by the exporters (the toolchain ships
+   no JSON library). Only what traces and metrics need: escaped
+   strings, objects and arrays from already-rendered members. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* [members] are already-rendered JSON values. *)
+let obj members =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> escape k ^ ":" ^ v) members)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f

@@ -1,0 +1,13 @@
+(** Minimal JSON rendering for the exporters. *)
+
+(** A JSON string literal (quoted, escaped). *)
+val escape : string -> string
+
+(** An object from already-rendered member values. *)
+val obj : (string * string) list -> string
+
+(** An array from already-rendered items. *)
+val arr : string list -> string
+
+(** A JSON number (integral floats render without a fraction). *)
+val number : float -> string

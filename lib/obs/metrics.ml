@@ -1,0 +1,127 @@
+(* A named metrics registry: monotonic counters, last-value gauges and
+   summary histograms (count/sum/min/max). Names are stable snake_case
+   (dots for namespacing) — they become JSON keys, so renaming one is a
+   schema change for every consumer of BENCH_*.json. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+(* The process-wide registry: Stats publication and the bench harness
+   both write here by default. *)
+let global = create ()
+
+let reset t = Hashtbl.reset t.table
+
+let find_or_add t name build =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> m
+  | None ->
+      let m = build () in
+      Hashtbl.replace t.table name m;
+      m
+
+let incr ?(by = 1) t name =
+  match find_or_add t name (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | Gauge _ | Histogram _ -> invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
+
+(* Absolute write, for publishing snapshots of externally-held counters
+   (Reasoner.Stats): re-publication must not double count. *)
+let set_count t name v =
+  match find_or_add t name (fun () -> Counter (ref v)) with
+  | Counter r -> r := v
+  | Gauge _ | Histogram _ ->
+      invalid_arg ("Metrics.set_count: " ^ name ^ " is not a counter")
+
+let set t name v =
+  match find_or_add t name (fun () -> Gauge (ref v)) with
+  | Gauge r -> r := v
+  | Counter _ | Histogram _ -> invalid_arg ("Metrics.set: " ^ name ^ " is not a gauge")
+
+let observe t name v =
+  match
+    find_or_add t name (fun () ->
+        Histogram { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity })
+  with
+  | Histogram h ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v
+  | Counter _ | Gauge _ ->
+      invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+
+let counter_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter r) -> Some !r
+  | _ -> None
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+let histogram_stats t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> Some (h.count, h.sum, h.min_v, h.max_v)
+  | _ -> None
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let is_empty t = Hashtbl.length t.table = 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips every float; counters stay integers. *)
+let json_of_metric = function
+  | Counter r -> string_of_int !r
+  | Gauge r -> Printf.sprintf "%.17g" !r
+  | Histogram h ->
+      if h.count = 0 then "{\"count\":0,\"sum\":0}"
+      else
+        Printf.sprintf
+          "{\"count\":%d,\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g,\"mean\":%.17g}"
+          h.count h.sum h.min_v h.max_v
+          (h.sum /. float_of_int h.count)
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Json.escape name);
+      Buffer.add_char b ':';
+      Buffer.add_string b (json_of_metric (Hashtbl.find t.table name)))
+    (names t);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf name ->
+         match Hashtbl.find t.table name with
+         | Counter r -> Fmt.pf ppf "%-40s %d" name !r
+         | Gauge r -> Fmt.pf ppf "%-40s %g" name !r
+         | Histogram h ->
+             if h.count = 0 then Fmt.pf ppf "%-40s (empty)" name
+             else
+               Fmt.pf ppf "%-40s n=%d sum=%g min=%g max=%g" name h.count h.sum
+                 h.min_v h.max_v))
+    (names t)

@@ -1,0 +1,51 @@
+(** A named counter/gauge/histogram registry.
+
+    Metric names are stable snake_case with dots for namespacing (e.g.
+    ["engine.cache_hits"], ["bench.engine.chain8.speedup"]) — they
+    become the keys of the exported JSON objects ([BENCH_omq.json]),
+    so renaming one is a schema change for downstream consumers.
+
+    Counters are monotonic ints, gauges hold the last value set,
+    histograms keep a summary (count/sum/min/max/mean). Re-using a name
+    with a different metric kind raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry ({!Reasoner.Stats} publication and the
+    bench harness write here by default). *)
+val global : t
+
+val reset : t -> unit
+
+(** Add to a counter (created at 0 on first use). *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Set a counter to an absolute value — for publishing snapshots of
+    externally-held counters, where re-publication must not double
+    count. *)
+val set_count : t -> string -> int -> unit
+
+(** Set a gauge. *)
+val set : t -> string -> float -> unit
+
+(** Record one observation into a histogram. *)
+val observe : t -> string -> float -> unit
+
+val counter_value : t -> string -> int option
+val gauge_value : t -> string -> float option
+
+(** [(count, sum, min, max)] of a histogram, if present. *)
+val histogram_stats : t -> string -> (int * float * float * float) option
+
+(** Registered metric names, sorted. *)
+val names : t -> string list
+
+val is_empty : t -> bool
+
+(** One flat JSON object; counters are integers, gauges numbers,
+    histograms [{"count","sum","min","max","mean"}] sub-objects. *)
+val to_json : t -> string
+
+val pp : t Fmt.t

@@ -15,6 +15,15 @@ type reason = Timeout | Fuel
 
 exception Exhausted of reason
 
+let label_of_reason = function Timeout -> "timeout" | Fuel -> "out_of_fuel"
+
+(* Spans interrupted by a trip get the reason as their status: the
+   classifier keeps [Obs] ignorant of this module's exception type. *)
+let () =
+  Obs.Trace.register_exn_label (function
+    | Exhausted r -> Some (label_of_reason r)
+    | _ -> None)
+
 type t = {
   active : bool;  (* inactive budgets never count and never trip *)
   deadline : float option;  (* absolute Unix.gettimeofday deadline *)
@@ -104,6 +113,13 @@ let protect t ~partial f =
   try `Ok (f ())
   with Exhausted r when t.tripped = Some r ->
     let s = Stats.global in
+    (* The inner spans already unwound (closed with the classifier
+       label); the event and status land on the still-open enclosing
+       span — for a traced query, its root. *)
+    Obs.Trace.event
+      ~attrs:[ ("reason", Obs.Trace.Str (label_of_reason r)) ]
+      "budget_trip";
+    Obs.Trace.set_status (label_of_reason r);
     (match r with
     | Timeout ->
         s.Stats.budget_timeouts <- s.Stats.budget_timeouts + 1;

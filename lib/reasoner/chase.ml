@@ -142,8 +142,19 @@ let apply_egd ?(budget = Budget.unlimited) inst e =
    and [Budget.Exhausted] on a budget trip. *)
 let run ?(budget = Budget.unlimited) ?(max_rounds = 50) ?(egds = []) rules inst
     =
+  Obs.Trace.with_span ~attrs:[ ("rules", Obs.Trace.Int (List.length rules)) ]
+    "chase.run"
+  @@ fun () ->
+  let finish round res =
+    if Obs.Trace.enabled () then begin
+      Obs.Trace.add_attr "rounds" (Obs.Trace.Int round);
+      Obs.Trace.add_attr "saturated" (Obs.Trace.Bool res.saturated)
+    end;
+    res
+  in
   let rec go inst round =
-    if round >= max_rounds then { instance = inst; saturated = false }
+    if round >= max_rounds then
+      finish round { instance = inst; saturated = false }
     else begin
       let inst', changed =
         List.fold_left
@@ -159,8 +170,17 @@ let run ?(budget = Budget.unlimited) ?(max_rounds = 50) ?(egds = []) rules inst
             (i', ch || ch'))
           (inst', changed) egds
       in
+      if Obs.Trace.enabled () then
+        Obs.Trace.event
+          ~attrs:
+            [
+              ("round", Obs.Trace.Int round);
+              ( "facts",
+                Obs.Trace.Int (List.length (Structure.Instance.facts inst'')) );
+            ]
+          "chase.round";
       if changed' then go inst'' (round + 1)
-      else { instance = inst''; saturated = true }
+      else finish (round + 1) { instance = inst''; saturated = true }
     end
   in
   go inst 0
@@ -173,6 +193,10 @@ let try_run budget ?(max_rounds = 50) ?(egds = []) rules inst =
   Budget.protect budget
     ~partial:(fun () -> !last)
     (fun () ->
+      Obs.Trace.with_span
+        ~attrs:[ ("rules", Obs.Trace.Int (List.length rules)) ]
+        "chase.run"
+      @@ fun () ->
       let rec go inst round =
         if round >= max_rounds then { instance = inst; saturated = false }
         else begin
@@ -191,6 +215,9 @@ let try_run budget ?(max_rounds = 50) ?(egds = []) rules inst =
               (inst', changed) egds
           in
           last := { instance = inst''; saturated = not changed' };
+          Obs.Trace.event
+            ~attrs:[ ("round", Obs.Trace.Int round) ]
+            "chase.round";
           if changed' then go inst'' (round + 1)
           else { instance = inst''; saturated = true }
         end

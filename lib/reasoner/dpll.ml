@@ -342,6 +342,10 @@ let record_learned s lits =
    the level-0-closed prefix refutes the query without poisoning the
    solver: [broken] is only set by genuine level-0 conflicts. *)
 let solve_assuming ?(budget = Budget.unlimited) s assumptions =
+  Obs.Trace.with_span
+    ~attrs:[ ("vars", Obs.Trace.Int s.nvars) ]
+    "dpll.solve"
+  @@ fun () ->
   let assumptions = Array.of_list assumptions in
   Array.iter (fun l -> ensure_nvars s (lit_var l + 1)) assumptions;
   ensure_levels s (Array.length assumptions + s.nvars + 1);
@@ -384,6 +388,10 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
           else if !conflicts >= !restart_budget then begin
             restart_budget := !restart_budget + (!restart_budget / 2);
             cancel_until s 0;
+            (* Level 0 after a cancel: a safe boundary for a clock read. *)
+            Obs.Trace.event
+              ~attrs:[ ("conflicts", Obs.Trace.Int !conflicts) ]
+              "dpll.restart";
             loop ()
           end
           else loop ()
@@ -411,7 +419,11 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
         | None -> Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
         | Some _ -> loop ()
     in
-    loop ()
+    let r = loop () in
+    if Obs.Trace.enabled () then
+      Obs.Trace.add_attr "budget_checkpoints"
+        (Obs.Trace.Int (Budget.checkpoints budget));
+    r
   end
 
 let is_broken s = s.broken

@@ -69,48 +69,60 @@ let sync t =
 
 let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.empty)
     ?(budget = Budget.unlimited) ~extra o d =
-  let t0 = Unix.gettimeofday () in
-  let g = Problem.build ~budget ~extra_signature ~extra o d in
-  let t =
-    {
-      ontology = o;
-      instance = d;
-      extra;
-      ground = g;
-      solver = Dpll.make ~nvars:(Ground.nvars g);
-      reified = Hashtbl.create 64;
-      stats = st;
-      budget;
-      consistent = None;
-    }
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      t.budget <- Budget.unlimited;
-      Ground.set_budget g Budget.unlimited)
-    (fun () -> sync t);
-  let dt = Unix.gettimeofday () -. t0 in
-  tally t (fun s ->
-      s.Stats.groundings <- s.Stats.groundings + 1;
-      s.Stats.ground_seconds <- s.Stats.ground_seconds +. dt);
-  t
+  Obs.Trace.with_span ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.ground"
+    (fun () ->
+      let t0 = Obs.Clock.now () in
+      let g = Problem.build ~budget ~extra_signature ~extra o d in
+      let t =
+        {
+          ontology = o;
+          instance = d;
+          extra;
+          ground = g;
+          solver = Dpll.make ~nvars:(Ground.nvars g);
+          reified = Hashtbl.create 64;
+          stats = st;
+          budget;
+          consistent = None;
+        }
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          t.budget <- Budget.unlimited;
+          Ground.set_budget g Budget.unlimited)
+        (fun () -> sync t);
+      let dt = Obs.Clock.now () -. t0 in
+      tally t (fun s ->
+          s.Stats.groundings <- s.Stats.groundings + 1;
+          s.Stats.ground_seconds <- s.Stats.ground_seconds +. dt);
+      if Obs.Trace.enabled () then
+        Obs.Trace.add_attr "vars" (Obs.Trace.Int (Ground.nvars g));
+      t)
 
 (* One solver invocation under the installed budget, with counters and
    wall time credited (also on a budget trip, via protect). *)
 let run_solver t assumptions =
-  let d0, p0, c0 = Dpll.counters t.solver in
-  let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
-      let d1, p1, c1 = Dpll.counters t.solver in
-      tally t (fun s ->
-          s.Stats.solves <- s.Stats.solves + 1;
-          s.Stats.decisions <- s.Stats.decisions + (d1 - d0);
-          s.Stats.propagations <- s.Stats.propagations + (p1 - p0);
-          s.Stats.conflicts <- s.Stats.conflicts + (c1 - c0);
-          s.Stats.solve_seconds <- s.Stats.solve_seconds +. dt))
-    (fun () -> Dpll.solve_assuming ~budget:t.budget t.solver assumptions)
+  Obs.Trace.with_span
+    ~attrs:[ ("assumptions", Obs.Trace.Int (List.length assumptions)) ]
+    "engine.solve"
+    (fun () ->
+      let d0, p0, c0 = Dpll.counters t.solver in
+      let t0 = Obs.Clock.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Obs.Clock.now () -. t0 in
+          let d1, p1, c1 = Dpll.counters t.solver in
+          tally t (fun s ->
+              s.Stats.solves <- s.Stats.solves + 1;
+              s.Stats.decisions <- s.Stats.decisions + (d1 - d0);
+              s.Stats.propagations <- s.Stats.propagations + (p1 - p0);
+              s.Stats.conflicts <- s.Stats.conflicts + (c1 - c0);
+              s.Stats.solve_seconds <- s.Stats.solve_seconds +. dt);
+          if Obs.Trace.enabled () then begin
+            Obs.Trace.add_attr "decisions" (Obs.Trace.Int (d1 - d0));
+            Obs.Trace.add_attr "conflicts" (Obs.Trace.Int (c1 - c0))
+          end)
+        (fun () -> Dpll.solve_assuming ~budget:t.budget t.solver assumptions))
 
 (* The literal equivalent to [f] under [env], memoized per session. New
    relations are admitted on demand (their facts are unconstrained by O
@@ -234,8 +246,10 @@ let session ?stats ?extra_signature ?budget ~extra o d =
   | Some t ->
       sessions := (key, t) :: List.remove_assoc key !sessions;
       tally t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
+      Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_hit";
       t
   | None ->
+      Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_miss";
       let t = create ?stats ?extra_signature ?budget ~extra o d in
       tally t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
       let rec take k = function

@@ -16,11 +16,18 @@ let signature ?(extra_signature = Logic.Signature.empty) o d =
     (Logic.Signature.union (Structure.Instance.signature d) extra_signature)
 
 let build ?budget ?extra_signature ~extra o d =
+  Obs.Trace.with_span ~attrs:[ ("extra", Obs.Trace.Int extra) ] "ground.build"
+  @@ fun () ->
+  let dom = domain ~extra d in
   let g =
-    Ground.create ?budget ~domain:(domain ~extra d)
+    Ground.create ?budget ~domain:dom
       ~signature:(signature ?extra_signature o d)
       ()
   in
   Ground.assert_instance g d;
   List.iter (Ground.assert_formula g) (Logic.Ontology.all_sentences o);
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "domain" (Obs.Trace.Int (List.length dom));
+    Obs.Trace.add_attr "vars" (Obs.Trace.Int (Ground.nvars g))
+  end;
   g

@@ -66,7 +66,7 @@ let add ~into t =
   into.ground_seconds <- into.ground_seconds +. t.ground_seconds;
   into.solve_seconds <- into.solve_seconds +. t.solve_seconds
 
-let now = Unix.gettimeofday
+let now = Obs.Clock.now
 
 (* Run [f], crediting its wall time via [credit]. *)
 let timed credit f =
@@ -82,6 +82,8 @@ let pp ppf t =
     t.propagations t.conflicts t.cache_hits t.cache_misses t.budget_timeouts
     t.budget_fuel_trips
 
+(* Field order and key names are the documented schema (stats.mli):
+   keep both stable — bench/CI consumers select keys with jq. *)
 let to_json t =
   Printf.sprintf
     "{\"groundings\":%d,\"solves\":%d,\"decisions\":%d,\"propagations\":%d,\
@@ -91,3 +93,20 @@ let to_json t =
     t.groundings t.solves t.decisions t.propagations t.conflicts t.cache_hits
     t.cache_misses t.budget_timeouts t.budget_fuel_trips t.ground_seconds
     t.solve_seconds
+
+(* Publish a snapshot into a metrics registry under [prefix].<field>,
+   with the same snake_case field names as the JSON schema. Absolute
+   writes, so re-publication is idempotent. *)
+let publish ?(prefix = "reasoner") ?(into = Obs.Metrics.global) t =
+  let count name v = Obs.Metrics.set_count into (prefix ^ "." ^ name) v in
+  count "groundings" t.groundings;
+  count "solves" t.solves;
+  count "decisions" t.decisions;
+  count "propagations" t.propagations;
+  count "conflicts" t.conflicts;
+  count "cache_hits" t.cache_hits;
+  count "cache_misses" t.cache_misses;
+  count "budget_timeouts" t.budget_timeouts;
+  count "budget_fuel_trips" t.budget_fuel_trips;
+  Obs.Metrics.set into (prefix ^ ".ground_seconds") t.ground_seconds;
+  Obs.Metrics.set into (prefix ^ ".solve_seconds") t.solve_seconds

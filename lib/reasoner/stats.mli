@@ -33,5 +33,23 @@ val timed : (float -> unit) -> (unit -> 'a) -> 'a
 
 val pp : t Fmt.t
 
-(** One-line JSON object with all counters. *)
+(** One-line JSON object with every field of {!t}.
+
+    The schema is stable — bench and CI consumers select keys with jq,
+    so adding a field is fine but renaming or removing one is a
+    breaking change. Keys (snake_case, in emission order):
+
+    - ["groundings"], ["solves"], ["decisions"], ["propagations"],
+      ["conflicts"] : integers
+    - ["cache_hits"], ["cache_misses"] : integers
+    - ["budget_timeouts"], ["budget_fuel_trips"] : integers
+    - ["ground_seconds"], ["solve_seconds"] : numbers (seconds, 6
+      decimal places) *)
 val to_json : t -> string
+
+(** [publish ?prefix ?into t] writes a snapshot of [t] into an
+    {!Obs.Metrics} registry (default {!Obs.Metrics.global}) as
+    [<prefix>.<field>] — e.g. ["reasoner.cache_hits"] — using the same
+    snake_case field names as {!to_json}. Writes are absolute, so
+    publishing repeatedly is idempotent rather than accumulating. *)
+val publish : ?prefix:string -> ?into:Obs.Metrics.t -> t -> unit

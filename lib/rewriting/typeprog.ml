@@ -382,13 +382,22 @@ let prune ?(budget = Reasoner.Budget.unlimited) state =
 (* ------------------------------------------------------------------ *)
 
 let run ?budget ?extra ?limit o q d =
-  let cl = closure o q in
-  let t = enumerate_types ?budget ?extra ?limit cl in
+  Obs.Trace.with_span "typeprog.run" @@ fun () ->
+  let cl = Obs.Trace.with_span "typeprog.closure" (fun () -> closure o q) in
+  let t =
+    Obs.Trace.with_span "typeprog.enumerate_types" (fun () ->
+        enumerate_types ?budget ?extra ?limit cl)
+  in
   let tuples = Array.of_list (tuples_of_instance d) in
   let state =
     { t; tuples; sets = Array.map (initial_types t d) tuples }
   in
-  prune ?budget state;
+  Obs.Trace.with_span "typeprog.prune" (fun () -> prune ?budget state);
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "closure_size" (Obs.Trace.Int (size cl));
+    Obs.Trace.add_attr "binary_types" (Obs.Trace.Int (List.length t.binary));
+    Obs.Trace.add_attr "tuples" (Obs.Trace.Int (Array.length tuples))
+  end;
   state
 
 (* Does every surviving type of the tuple contain the query at the

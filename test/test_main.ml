@@ -18,5 +18,6 @@ let () =
       ("classify", Test_classify.suite);
       ("bioportal", Test_bioportal.suite);
       ("omq", Test_omq.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]
