@@ -98,10 +98,18 @@ let example1_table () =
 
 let engine_table () =
   section "Incremental engine: ground once, solve many";
+  (* Normalize heap state: the preceding tables leave a grown major heap
+     whose collection debt otherwise lands on these sub-millisecond
+     timings. *)
+  Gc.compact ();
   (* Multi-tuple certain answers of an arity-2 query: the seed path
      regrounds (O, D) for every candidate tuple and bound; the session
      path grounds once per bound and answers tuples by assumption
-     solving. *)
+     solving. The grounding memo is disabled for the table — it would
+     accelerate the seed path's deliberate regrounding and blur the
+     ground-once-vs-reground comparison this table isolates; the memo's
+     own effect shows up in bench.total.ground_seconds instead. *)
+  Reasoner.Ground.set_memo_capacity 0;
   let q2 = Query.Parse.cq_of_string "q(x,y) <- R(x,y), C(x)" in
   let max_extra = 1 in
   Fmt.pr "%-8s %-12s %-10s %-12s %-12s %-9s %s@." "chain" "candidates"
@@ -113,17 +121,33 @@ let engine_table () =
       let candidates =
         List.concat_map (fun a -> List.map (fun b -> [ a; b ]) dom) dom
       in
+      (* Sub-millisecond single-shot timings swing by 2-3x with GC and
+         scheduler state; report the best of a few repetitions instead.
+         The session side clears the engine cache inside the timed
+         thunk, so every repetition pays the full ground-once cost. *)
+      let reps = 5 in
+      let best f =
+        let result = ref None in
+        let best_t = ref infinity in
+        for _ = 1 to reps do
+          let x, t = time f in
+          result := Some x;
+          if t < !best_t then best_t := t
+        done;
+        (Option.get !result, !best_t)
+      in
       let seed_answers, t_seed =
-        time (fun () ->
+        best (fun () ->
             List.filter
               (fun tup -> Reasoner.Bounded.certain_cq ~max_extra o_horn d q2 tup)
               candidates)
       in
-      Reasoner.Engine.clear_cache ();
-      Reasoner.Stats.reset Reasoner.Stats.global;
       let omq = Omq.of_cq o_horn q2 in
       let eng_answers, t_eng =
-        time (fun () -> Omq.certain_answers ~max_extra omq d)
+        best (fun () ->
+            Reasoner.Engine.clear_cache ();
+            Reasoner.Stats.reset Reasoner.Stats.global;
+            Omq.certain_answers ~max_extra omq d)
       in
       let st = Reasoner.Stats.global in
       let agree =
@@ -137,7 +161,8 @@ let engine_table () =
       let prefix = Fmt.str "bench.engine.chain%d" n in
       Reasoner.Stats.publish ~prefix st;
       Obs.Metrics.set Obs.Metrics.global (prefix ^ ".speedup") (t_seed /. t_eng))
-    [ 4; 8 ]
+    [ 4; 8 ];
+  Reasoner.Ground.set_memo_capacity 256
 
 let thm5_table () =
   section "Theorem 5: the type-based Datalog!= evaluation vs certain answers";
@@ -351,18 +376,28 @@ let write_metrics path =
 
 let () =
   Fmt.pr "Reproduction harness: Hernich, Lutz, Papacchini, Wolter — PODS'17@.";
-  fig1_table ();
-  bioportal_table ();
-  hand_table ();
-  example1_table ();
-  engine_table ();
-  thm5_table ();
-  thm8_table ();
-  thm10_table ();
-  thm13_table ();
-  thm3_table ();
-  unravel_table ();
-  run_benchmarks ();
-  Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
-  write_metrics "BENCH_omq.json";
+  if Array.exists (String.equal "--smoke") Sys.argv then begin
+    (* CI smoke mode: just the engine table (the regression tripwire for
+       the grounder/solver handoff), written to a separate file so the
+       committed full-run baseline is never clobbered. *)
+    engine_table ();
+    Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
+    write_metrics "BENCH_smoke.json"
+  end
+  else begin
+    fig1_table ();
+    bioportal_table ();
+    hand_table ();
+    example1_table ();
+    engine_table ();
+    thm5_table ();
+    thm8_table ();
+    thm10_table ();
+    thm13_table ();
+    thm3_table ();
+    unravel_table ();
+    run_benchmarks ();
+    Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
+    write_metrics "BENCH_omq.json"
+  end;
   Fmt.pr "@.done.@."

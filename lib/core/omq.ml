@@ -219,6 +219,13 @@ let certain_answers_within budget ?max_extra omq d =
 let is_consistent_within budget ?max_extra omq d =
   Session.is_consistent_within budget (open_session ?max_extra omq d)
 
+(* Drop every process-wide cache the answering stack keeps: the engine's
+   session registry and the grounder's cross-session circuit memo. For
+   benchmarking cold paths and bounding long-process memory. *)
+let clear_caches () =
+  Reasoner.Engine.clear_cache ();
+  Reasoner.Ground.clear_memo ()
+
 (* ------------------------------------------------------------------ *)
 (* Analyses                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -181,4 +181,9 @@ val try_decide_ptime :
   t ->
   (Classify.Decide.verdict, int) Reasoner.Budget.outcome
 
+(** Drop every process-wide cache the answering stack keeps (the engine
+    session registry and the grounder's circuit memo), for cold-path
+    measurements and bounding long-process memory. *)
+val clear_caches : unit -> unit
+
 val pp : t Fmt.t

@@ -92,7 +92,19 @@ let holds inst q tuple =
       (fun m x e -> EMap.add (var_element x) e m)
       (constant_fixing q) q.answer tuple
   in
-  Structure.Homomorphism.exists ~fixed ~source:(canonical_db q) ~target:inst ()
+  if SSet.is_empty (existential_variables q) then
+    (* No existential variables: the candidate homomorphism is fully
+       determined by [fixed] (every atom variable is an answer variable
+       — [make] guarantees the converse occurrence), so evaluation is
+       plain fact membership, skipping the canonical database and the
+       backtracking search. *)
+    List.for_all
+      (fun (r, ts) ->
+        let args = List.map (fun t -> EMap.find (term_element t) fixed) ts in
+        Structure.Instance.mem (Structure.Instance.fact r args) inst)
+      q.atoms
+  else
+    Structure.Homomorphism.exists ~fixed ~source:(canonical_db q) ~target:inst ()
 
 let holds_boolean inst q = holds inst q []
 

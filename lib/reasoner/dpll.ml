@@ -29,8 +29,13 @@ type t = {
   mutable qhead : int;
   mutable activity : float array;
   mutable var_inc : float;
+  mutable heap : int array;  (* binary max-heap of variables by activity *)
+  mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
+  mutable heap_size : int;
+  mutable heap_dirty : bool;  (* bulk activity writes since last rebuild *)
   mutable phase : bool array;
   mutable seen : bool array;  (* scratch for conflict analysis *)
+  mutable scratch : int array;  (* scratch for clause simplification *)
   mutable broken : bool;  (* refuted at level 0: permanently unsat *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -60,8 +65,15 @@ let make ~nvars =
     qhead = 0;
     activity = Array.make (max nvars 1) 0.0;
     var_inc = 1.0;
+    (* all activities start equal (0), so the identity layout is a
+       well-formed heap over the initial variables *)
+    heap = Array.init (max nvars 1) (fun i -> i);
+    heap_pos = Array.init (max nvars 1) (fun i -> if i < nvars then i else -1);
+    heap_size = nvars;
+    heap_dirty = false;
     phase = Array.make (max nvars 1) false;
     seen = Array.make (max nvars 1) false;
+    scratch = Array.make 16 0;
     broken = false;
     n_decisions = 0;
     n_propagations = 0;
@@ -76,6 +88,93 @@ let grow_array a n def =
     bigger
   end
 
+(* The VSIDS order heap: a binary max-heap of unassigned variables by
+   activity, so [decide] is O(log n) instead of a scan over all
+   variables. Deletion is lazy — a variable assigned by propagation
+   stays in the heap until [decide] pops and skips it; [cancel_until]
+   re-inserts the variables it unassigns. *)
+
+let heap_swap s i j =
+  let u = s.heap.(i) and v = s.heap.(j) in
+  s.heap.(i) <- v;
+  s.heap.(j) <- u;
+  s.heap_pos.(v) <- i;
+  s.heap_pos.(u) <- j
+
+let heap_sift_up s i =
+  let i = ref i in
+  let continue = ref (!i > 0) in
+  while !continue do
+    let p = (!i - 1) / 2 in
+    if s.activity.(s.heap.(!i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s !i p;
+      i := p;
+      continue := !i > 0
+    end
+    else continue := false
+  done
+
+let heap_sift_down s i =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= s.heap_size then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < s.heap_size && s.activity.(s.heap.(r)) > s.activity.(s.heap.(l))
+        then r
+        else l
+      in
+      if s.activity.(s.heap.(c)) > s.activity.(s.heap.(!i)) then begin
+        heap_swap s !i c;
+        i := c
+      end
+      else continue := false
+    end
+  done
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_sift_up s (s.heap_size - 1)
+  end
+
+(* Remove and return the maximum-activity variable (heap non-empty). *)
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    let w = s.heap.(s.heap_size) in
+    s.heap.(0) <- w;
+    s.heap_pos.(w) <- 0;
+    heap_sift_down s 0
+  end;
+  v
+
+(* Repair the heap order for [v] after its activity increased. *)
+let heap_update s v = if s.heap_pos.(v) >= 0 then heap_sift_up s s.heap_pos.(v)
+
+(* Rebuild from every unassigned variable — for callers that overwrite
+   activities in bulk (one-shot seeding) rather than through [bump]. *)
+let heap_rebuild s =
+  Array.fill s.heap_pos 0 (Array.length s.heap_pos) (-1);
+  s.heap_size <- 0;
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 then begin
+      s.heap.(s.heap_size) <- v;
+      s.heap_pos.(v) <- s.heap_size;
+      s.heap_size <- s.heap_size + 1
+    end
+  done;
+  for i = (s.heap_size / 2) - 1 downto 0 do
+    heap_sift_down s i
+  done
+
 (* Admit variables 1..n (idempotent; arrays are reallocated lazily). *)
 let ensure_nvars s n =
   if n > s.nvars then begin
@@ -87,7 +186,13 @@ let ensure_nvars s n =
     s.activity <- grow_array s.activity n 0.0;
     s.phase <- grow_array s.phase n false;
     s.seen <- grow_array s.seen n false;
-    s.nvars <- n
+    s.heap <- grow_array s.heap n 0;
+    s.heap_pos <- grow_array s.heap_pos n (-1);
+    let first = s.nvars in
+    s.nvars <- n;
+    for v = first to n - 1 do
+      heap_insert s v
+    done
   end
 
 (* Decision levels can exceed nvars when assumptions open dummy levels. *)
@@ -126,35 +231,129 @@ let cancel_until s lvl =
       let v = lit_var s.trail.(i) in
       s.phase.(v) <- s.assign.(v) = 1;
       s.assign.(v) <- 0;
-      s.reason.(v) <- -1
+      s.reason.(v) <- -1;
+      heap_insert s v
     done;
     s.trail_size <- bound;
     s.qhead <- bound;
     s.decision_level <- lvl
   end
 
+let ensure_scratch s n =
+  if Array.length s.scratch < n then
+    s.scratch <- Array.make (max n (2 * Array.length s.scratch)) 0
+
+(* Sort scratch.[0..len) by (|l|, l): this order puts duplicate
+   literals and complementary pairs adjacent (with -v just before v).
+   Insertion sort for the short clauses that dominate; long clauses
+   (counting-quantifier disjunctions reach thousands of literals) would
+   make it quadratic, so they go through the standard sort instead. *)
+let lit_order x y =
+  let kx = abs x and ky = abs y in
+  if kx <> ky then compare kx ky else compare x y
+
+let sort_scratch buf len =
+  if len > 24 then begin
+    let a = Array.sub buf 0 len in
+    Array.fast_sort lit_order a;
+    Array.blit a 0 buf 0 len
+  end
+  else
+    for i = 1 to len - 1 do
+      let x = buf.(i) in
+      let kx = abs x in
+      let j = ref (i - 1) in
+      while
+        !j >= 0
+        &&
+        let y = buf.(!j) in
+        let ky = abs y in
+        ky > kx || (ky = kx && y > x)
+      do
+        buf.(!j + 1) <- buf.(!j);
+        decr j
+      done;
+      buf.(!j + 1) <- x
+    done
+
+(* One adjacent scan over the sorted buffer: compact away duplicates in
+   place, and report a tautology (v and -v both present) as -1. *)
+let dedup_scan buf len =
+  if len = 0 then 0
+  else begin
+    let m = ref 1 in
+    let taut = ref false in
+    (try
+       for i = 1 to len - 1 do
+         let l = buf.(i) in
+         let prev = buf.(!m - 1) in
+         if l = prev then ()
+         else if l = -prev then begin
+           taut := true;
+           raise Exit
+         end
+         else begin
+           buf.(!m) <- l;
+           incr m
+         end
+       done
+     with Exit -> ());
+    if !taut then -1 else !m
+  end
+
+(* The shared level-0 assertion core over scratch.[0..len): sort,
+   dedup/tautology-scan, then simplify against the permanent assignment
+   (satisfied clauses dropped, falsified literals removed). The caller
+   has already cancelled open decision levels and checked [broken]. *)
+let assert_scratch s len =
+  sort_scratch s.scratch len;
+  let m = dedup_scan s.scratch len in
+  if m >= 0 then begin
+    (* abs-sorted, so the last literal carries the largest variable *)
+    if m > 0 then ensure_nvars s (abs s.scratch.(m - 1) + 1);
+    let sat = ref false in
+    let k = ref 0 in
+    for i = 0 to m - 1 do
+      let l = s.scratch.(i) in
+      match value s l with
+      | 1 -> sat := true
+      | 0 ->
+          s.scratch.(!k) <- l;
+          incr k
+      | _ -> ()
+    done;
+    if not !sat then begin
+      match !k with
+      | 0 -> s.broken <- true
+      | 1 -> enqueue s s.scratch.(0) (-1)
+      | k ->
+          grow_clauses s;
+          s.clauses.(s.nclauses) <- Array.sub s.scratch 0 k;
+          attach s s.nclauses;
+          s.nclauses <- s.nclauses + 1
+    end
+  end
+
 (* Assert a clause at level 0, simplifying against the permanent
-   (level-0) assignment: satisfied clauses are dropped, falsified
-   literals removed. Any open decision levels are cancelled first, so
-   this is safe between solves. *)
+   (level-0) assignment. Any open decision levels are cancelled first,
+   so this is safe between solves. *)
 let assert_clause s lits =
   cancel_until s 0;
   if not s.broken then begin
-    let c = List.sort_uniq compare lits in
-    if List.exists (fun l -> List.mem (-l) c) c then () (* tautology *)
-    else begin
-      List.iter (fun l -> ensure_nvars s (lit_var l + 1)) c;
-      if not (List.exists (fun l -> value s l = 1) c) then begin
-        match List.filter (fun l -> value s l <> -1) c with
-        | [] -> s.broken <- true
-        | [ l ] -> enqueue s l (-1)
-        | simplified ->
-            grow_clauses s;
-            s.clauses.(s.nclauses) <- Array.of_list simplified;
-            attach s s.nclauses;
-            s.nclauses <- s.nclauses + 1
-      end
-    end
+    let len = List.length lits in
+    ensure_scratch s len;
+    List.iteri (fun i l -> s.scratch.(i) <- l) lits;
+    assert_scratch s len
+  end
+
+(* Same, from a [len]-literal slice of a flat buffer at [off] (the
+   grounder's clause arena) — no intermediate list. *)
+let assert_clause_slice s a off len =
+  cancel_until s 0;
+  if not s.broken then begin
+    ensure_scratch s len;
+    Array.blit a off s.scratch 0 len;
+    assert_scratch s len
   end
 
 (* Seed branching activity from a clause (Jeroslow-Wang-ish weights),
@@ -165,7 +364,17 @@ let seed_clause s c =
     (fun l ->
       ensure_nvars s (lit_var l + 1);
       s.activity.(lit_var l) <- s.activity.(lit_var l) +. w)
-    c
+    c;
+  s.heap_dirty <- true
+
+let seed_clause_slice s a off len =
+  let w = 2.0 ** float_of_int (-min len 30) in
+  for i = off to off + len - 1 do
+    let l = a.(i) in
+    ensure_nvars s (lit_var l + 1);
+    s.activity.(lit_var l) <- s.activity.(lit_var l) +. w
+  done;
+  s.heap_dirty <- true
 
 (* Two-watched-literal unit propagation; returns the conflicting clause
    index, or -1. *)
@@ -229,7 +438,9 @@ let propagate s =
 
 let bump s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  heap_update s v;
   if s.activity.(v) > 1e100 then begin
+    (* uniform rescale: relative order unchanged, heap stays valid *)
     for u = 0 to s.nvars - 1 do
       s.activity.(u) <- s.activity.(u) *. 1e-100
     done;
@@ -288,12 +499,9 @@ let analyze s conflict_ci =
 
 let decide s =
   let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
+  while !best = -1 && s.heap_size > 0 do
+    let v = heap_pop s in
+    if s.assign.(v) = 0 then best := v
   done;
   if !best = -1 then None
   else begin
@@ -341,7 +549,7 @@ let record_learned s lits =
    assumptions are simply re-planted. An assumption found false against
    the level-0-closed prefix refutes the query without poisoning the
    solver: [broken] is only set by genuine level-0 conflicts. *)
-let solve_assuming ?(budget = Budget.unlimited) s assumptions =
+let search ?(budget = Budget.unlimited) s assumptions =
   Obs.Trace.with_span
     ~attrs:[ ("vars", Obs.Trace.Int s.nvars) ]
     "dpll.solve"
@@ -350,7 +558,12 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
   Array.iter (fun l -> ensure_nvars s (lit_var l + 1)) assumptions;
   ensure_levels s (Array.length assumptions + s.nvars + 1);
   cancel_until s 0;
-  if s.broken then Unsat
+  if s.heap_dirty then begin
+    (* bulk seeding bypassed per-write heap repair; one rebuild here *)
+    heap_rebuild s;
+    s.heap_dirty <- false
+  end;
+  if s.broken then false
   else begin
     let restart_budget = ref 100 in
     let conflicts = ref 0 in
@@ -375,7 +588,7 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
         s.n_conflicts <- s.n_conflicts + 1;
         if s.decision_level = 0 then begin
           s.broken <- true;
-          Unsat
+          false
         end
         else begin
           let learned, backjump = analyze s conflict in
@@ -383,7 +596,7 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
           decay s;
           if not (record_learned s learned) then begin
             s.broken <- true;
-            Unsat
+            false
           end
           else if !conflicts >= !restart_budget then begin
             restart_budget := !restart_budget + (!restart_budget / 2);
@@ -401,7 +614,7 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
         (* plant the next assumption as a decision *)
         let p = assumptions.(s.decision_level) in
         match value s p with
-        | -1 -> Unsat (* conflicts with the assumptions: not [broken] *)
+        | -1 -> false (* conflicts with the assumptions: not [broken] *)
         | 1 ->
             (* already true: open a dummy level to keep the
                level <-> assumption-index correspondence *)
@@ -416,7 +629,7 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
       end
       else
         match decide s with
-        | None -> Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
+        | None -> true (* full assignment: satisfying, left on the trail *)
         | Some _ -> loop ()
     in
     let r = loop () in
@@ -425,6 +638,15 @@ let solve_assuming ?(budget = Budget.unlimited) s assumptions =
         (Obs.Trace.Int (Budget.checkpoints budget));
     r
   end
+
+(* Satisfiability under assumptions without materializing the model —
+   the engine's per-tuple certainty path discards it anyway. *)
+let sat_assuming ?budget s assumptions = search ?budget s assumptions
+
+let solve_assuming ?budget s assumptions =
+  if search ?budget s assumptions then
+    Sat (Array.init s.nvars (fun v -> s.assign.(v) = 1))
+  else Unsat
 
 let is_broken s = s.broken
 
@@ -451,19 +673,39 @@ let solve ?budget ~nvars clauses =
     s.activity.(v) <- pos.(v) +. neg.(v);
     s.phase.(v) <- pos.(v) >= neg.(v)
   done;
+  s.heap_dirty <- true;
   List.iter (fun c -> assert_clause s c) clauses;
+  solve_assuming ?budget s []
+
+(* Same one-shot solve over a clause *iterator*: [iter f] must call
+   [f buf off len] once per clause, where the clause is the literal
+   slice buf.[off..off+len) — the grounder's flat arena feeds this
+   directly, with no per-clause list. Iterated twice (phase/activity
+   seeding, then assertion), so [iter] must be re-runnable. *)
+let solve_iter ?budget ~nvars iter =
+  let s = make ~nvars in
+  let pos = Array.make (max nvars 1) 0.0
+  and neg = Array.make (max nvars 1) 0.0 in
+  iter (fun (buf : int array) off len ->
+      let w = 2.0 ** float_of_int (-min len 30) in
+      for i = off to off + len - 1 do
+        let l = buf.(i) in
+        if l > 0 then pos.(lit_var l) <- pos.(lit_var l) +. w
+        else neg.(lit_var l) <- neg.(lit_var l) +. w
+      done);
+  for v = 0 to nvars - 1 do
+    s.activity.(v) <- pos.(v) +. neg.(v);
+    s.phase.(v) <- pos.(v) >= neg.(v)
+  done;
+  s.heap_dirty <- true;
+  iter (fun buf off len -> assert_clause_slice s buf off len);
   solve_assuming ?budget s []
 
 let lit_true model l = if l > 0 then model.(l - 1) else not model.(-l - 1)
 
-(* Enumerate satisfying assignments projected to the [project]ed
-   literals. Incremental: one persistent solver, each found projection
+(* The shared projected-enumeration loop: each found projection is
    blocked by a new clause, learned clauses kept throughout. *)
-let enumerate ?(budget = Budget.unlimited) ~nvars ~project ?(limit = max_int)
-    clauses =
-  let s = make ~nvars in
-  List.iter (fun c -> seed_clause s c) clauses;
-  List.iter (fun c -> assert_clause s c) clauses;
+let enumerate_loop ~budget ~project ~limit s =
   let rec go acc n =
     if n >= limit then List.rev acc
     else
@@ -480,3 +722,21 @@ let enumerate ?(budget = Budget.unlimited) ~nvars ~project ?(limit = max_int)
           end
   in
   go [] 0
+
+(* Enumerate satisfying assignments projected to the [project]ed
+   literals. Incremental: one persistent solver underneath. *)
+let enumerate ?(budget = Budget.unlimited) ~nvars ~project ?(limit = max_int)
+    clauses =
+  let s = make ~nvars in
+  List.iter (fun c -> seed_clause s c) clauses;
+  List.iter (fun c -> assert_clause s c) clauses;
+  enumerate_loop ~budget ~project ~limit s
+
+(* [enumerate] over a clause iterator (see {!solve_iter}). *)
+let enumerate_iter ?(budget = Budget.unlimited) ~nvars ~project
+    ?(limit = max_int) iter =
+  let s = make ~nvars in
+  iter (fun (buf : int array) off len ->
+      seed_clause_slice s buf off len;
+      assert_clause_slice s buf off len);
+  enumerate_loop ~budget ~project ~limit s

@@ -20,12 +20,22 @@ val make : nvars:int -> t
 val ensure_nvars : t -> int -> unit
 
 (** Add a clause at level 0 (cancelling any open decision levels).
-    Registers unseen variables automatically. *)
+    Duplicate literals are removed and tautologies dropped by one
+    sort-and-scan pass. Registers unseen variables automatically. *)
 val assert_clause : t -> int list -> unit
+
+(** [assert_clause_slice s buf off len] asserts the clause stored as the
+    literal slice [buf.[off..off+len)] — the grounder's flat clause
+    arena feeds this directly, with no per-clause list. [buf] is not
+    modified. *)
+val assert_clause_slice : t -> int array -> int -> int -> unit
 
 (** Seed branching activity from a clause (Jeroslow-Wang-ish weights);
     call before {!assert_clause} when building a solver incrementally. *)
 val seed_clause : t -> int list -> unit
+
+(** {!seed_clause} for an arena slice. *)
+val seed_clause_slice : t -> int array -> int -> int -> unit
 
 (** Solve the accumulated clauses under temporary assumption literals.
     Learned clauses persist; assumptions do not. With a [budget], the
@@ -33,6 +43,11 @@ val seed_clause : t -> int list -> unit
     fuel by propagations + conflicts) and may raise {!Budget.Exhausted};
     the solver remains consistent and reusable after such a trip. *)
 val solve_assuming : ?budget:Budget.t -> t -> int list -> result
+
+(** {!solve_assuming} without materializing the model — for callers
+    that only need the verdict (the engine's per-tuple certainty path),
+    saving an O(nvars) array per call. *)
+val sat_assuming : ?budget:Budget.t -> t -> int list -> bool
 
 (** The solver derived a contradiction at level 0: unsatisfiable no
     matter the assumptions, permanently. *)
@@ -43,6 +58,12 @@ val counters : t -> int * int * int
 
 (** One-shot solve. May raise {!Budget.Exhausted} when budgeted. *)
 val solve : ?budget:Budget.t -> nvars:int -> int list list -> result
+
+(** One-shot solve over a clause iterator: [iter f] must call
+    [f buf off len] once per clause slice and be re-runnable (it is
+    iterated twice: once to seed activities/phases, once to assert). *)
+val solve_iter :
+  ?budget:Budget.t -> nvars:int -> ((int array -> int -> int -> unit) -> unit) -> result
 
 (** Truth of a literal in a model array. *)
 val lit_true : bool array -> int -> bool
@@ -56,4 +77,14 @@ val enumerate :
   project:int list ->
   ?limit:int ->
   int list list ->
+  bool array list
+
+(** {!enumerate} over a clause iterator (see {!solve_iter}; here the
+    iterator runs once). *)
+val enumerate_iter :
+  ?budget:Budget.t ->
+  nvars:int ->
+  project:int list ->
+  ?limit:int ->
+  ((int array -> int -> int -> unit) -> unit) ->
   bool array list

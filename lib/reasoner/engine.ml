@@ -29,9 +29,24 @@ type t = {
   ground : Ground.t;
   solver : Dpll.t;
   reified : (Logic.Formula.t * (string * Structure.Element.t) list, int) Hashtbl.t;
+  (* per-session caches for the per-tuple hot path: the formula of each
+     disjunct (physical keys — sessions see a handful of CQs, each
+     shared across every candidate tuple) and the formulas whose
+     signature is already registered, so only the first tuple of a
+     query pays [Cq.to_formula] and [Signature.of_formula] *)
+  mutable cq_formulas : (Query.Cq.t * Logic.Formula.t) list;
+  mutable signed : Logic.Formula.t list;
   stats : Stats.t;
   mutable budget : Budget.t;  (* installed per call; unlimited at rest *)
   mutable consistent : bool option;  (* memoized no-assumption verdict *)
+  (* the most recent countermodel, kept as a candidate witness: a
+     model of O and D over the session domain refutes every tuple whose
+     query it falsifies, so most non-answers are settled by direct
+     evaluation instead of a solver call. Sound for the whole session
+     lifetime — later additions are definitional extensions (query
+     reifications) and implied (learned) clauses, neither of which
+     constrains the fact variables further. *)
+  mutable witness : Structure.Instance.t option;
 }
 
 let ontology t = t.ontology
@@ -58,21 +73,36 @@ let with_budget t b f =
     f
 
 (* Push clauses produced by the grounder since the last sync into the
-   persistent solver. *)
+   persistent solver, straight from the clause arena. *)
 let sync t =
   Dpll.ensure_nvars t.solver (Ground.nvars t.ground);
-  List.iter
-    (fun c ->
-      Dpll.seed_clause t.solver c;
-      Dpll.assert_clause t.solver c)
-    (Ground.drain_pending t.ground)
+  Ground.iter_pending t.ground (fun buf off len ->
+      Dpll.seed_clause_slice t.solver buf off len;
+      Dpll.assert_clause_slice t.solver buf off len)
+
+(* The grounding memo counts its traffic in [Stats.global] directly
+   (it is process-wide, not per-session); [f]'s delta is mirrored into
+   the per-session record here — also on a budget trip, so partial
+   groundings stay accounted for. *)
+let with_memo_delta st f =
+  let h0 = Stats.global.Stats.memo_hits
+  and m0 = Stats.global.Stats.memo_misses in
+  Fun.protect
+    ~finally:(fun () ->
+      if st != Stats.global then begin
+        st.Stats.memo_hits <-
+          st.Stats.memo_hits + (Stats.global.Stats.memo_hits - h0);
+        st.Stats.memo_misses <-
+          st.Stats.memo_misses + (Stats.global.Stats.memo_misses - m0)
+      end)
+    f
 
 let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.empty)
     ?(budget = Budget.unlimited) ~extra o d =
   Obs.Trace.with_span ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.ground"
     (fun () ->
       let t0 = Obs.Clock.now () in
-      let g = Problem.build ~budget ~extra_signature ~extra o d in
+      let g = with_memo_delta st (fun () -> Problem.build ~budget ~extra_signature ~extra o d) in
       let t =
         {
           ontology = o;
@@ -81,9 +111,12 @@ let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.emp
           ground = g;
           solver = Dpll.make ~nvars:(Ground.nvars g);
           reified = Hashtbl.create 64;
+          cq_formulas = [];
+          signed = [];
           stats = st;
           budget;
           consistent = None;
+          witness = None;
         }
       in
       Fun.protect
@@ -101,9 +134,9 @@ let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.emp
 
 (* One solver invocation under the installed budget, with counters and
    wall time credited (also on a budget trip, via protect). *)
-let run_solver t assumptions =
+let instrumented t n_assumptions f =
   Obs.Trace.with_span
-    ~attrs:[ ("assumptions", Obs.Trace.Int (List.length assumptions)) ]
+    ~attrs:[ ("assumptions", Obs.Trace.Int n_assumptions) ]
     "engine.solve"
     (fun () ->
       let d0, p0, c0 = Dpll.counters t.solver in
@@ -122,7 +155,16 @@ let run_solver t assumptions =
             Obs.Trace.add_attr "decisions" (Obs.Trace.Int (d1 - d0));
             Obs.Trace.add_attr "conflicts" (Obs.Trace.Int (c1 - c0))
           end)
-        (fun () -> Dpll.solve_assuming ~budget:t.budget t.solver assumptions))
+        f)
+
+let run_solver t assumptions =
+  instrumented t (List.length assumptions) (fun () ->
+      Dpll.solve_assuming ~budget:t.budget t.solver assumptions)
+
+(* Same, but only the verdict: no model array is built. *)
+let run_solver_sat t assumptions =
+  instrumented t (List.length assumptions) (fun () ->
+      Dpll.sat_assuming ~budget:t.budget t.solver assumptions)
 
 (* The literal equivalent to [f] under [env], memoized per session. New
    relations are admitted on demand (their facts are unconstrained by O
@@ -135,28 +177,38 @@ let reified_lit ?(env = SMap.empty) t f =
   match Hashtbl.find_opt t.reified key with
   | Some l -> l
   | None ->
-      Ground.ensure_signature t.ground (Logic.Signature.of_formula f);
-      let l = Ground.reify ~env t.ground f in
+      if not (List.memq f t.signed) then begin
+        Ground.ensure_signature t.ground (Logic.Signature.of_formula f);
+        t.signed <- f :: t.signed
+      end;
+      let l = with_memo_delta t.stats (fun () -> Ground.reify ~env t.ground f) in
       sync t;
       Hashtbl.replace t.reified key l;
       l
+
+let formula_of_cq t cq =
+  match List.find_opt (fun (c, _) -> c == cq) t.cq_formulas with
+  | Some (_, f) -> f
+  | None ->
+      let f = Query.Cq.to_formula cq in
+      t.cq_formulas <- (cq, f) :: t.cq_formulas;
+      f
 
 let find_model ?(budget = Budget.unlimited) t =
   with_budget t budget (fun () ->
       match run_solver t [] with
       | Dpll.Unsat -> None
-      | Dpll.Sat m -> Some (Ground.extract_model t.ground m))
+      | Dpll.Sat m ->
+          let w = Ground.extract_model t.ground m in
+          t.witness <- Some w;
+          Some w)
 
 let is_consistent ?(budget = Budget.unlimited) t =
   match t.consistent with
   | Some c -> c
   | None ->
       with_budget t budget (fun () ->
-          let c =
-            match run_solver t [] with
-            | Dpll.Sat _ -> true
-            | Dpll.Unsat -> false
-          in
+          let c = run_solver_sat t [] in
           t.consistent <- Some c;
           c)
 
@@ -168,38 +220,56 @@ let answer_env (q : Query.Cq.t) tuple =
 (* A countermodel to O,D ⊨ ⋁ qᵢ(āᵢ) over this session's domain: a model
    where every pointed disjunct fails, found by assuming the negation of
    each reified instantiation. *)
+let pointed_assumptions t pointed =
+  List.map
+    (fun (cq, tuple) ->
+      let env = answer_env cq tuple in
+      -reified_lit ~env t (formula_of_cq t cq))
+    pointed
+
 let countermodel_pointed ?(budget = Budget.unlimited) t pointed =
   with_budget t budget (fun () ->
-      let assumptions =
-        List.map
-          (fun (cq, tuple) ->
-            let env = answer_env cq tuple in
-            -reified_lit ~env t (Query.Cq.to_formula cq))
-          pointed
-      in
-      match run_solver t assumptions with
+      match run_solver t (pointed_assumptions t pointed) with
       | Dpll.Unsat -> None
-      | Dpll.Sat m -> Some (Ground.extract_model t.ground m))
+      | Dpll.Sat m ->
+          let w = Ground.extract_model t.ground m in
+          t.witness <- Some w;
+          Some w)
+
+(* [w] already demonstrates O,D ⊭ ⋁ qᵢ(āᵢ): every disjunct fails on it. *)
+let witness_refutes w pointed =
+  List.for_all (fun (cq, tuple) -> not (Query.Cq.holds w cq tuple)) pointed
+
+(* The certainty hot path: try the cached witness first — direct CQ
+   evaluation, no solver call — and fall back to a countermodel search
+   (which refreshes the witness) only when the witness satisfies some
+   disjunct. Over a batch of n² candidate tuples one countermodel
+   typically settles nearly all non-answers. *)
+let certain_pointed ?budget t pointed =
+  match t.witness with
+  | Some w when witness_refutes w pointed -> false
+  | _ -> Option.is_none (countermodel_pointed ?budget t pointed)
+
+let pointed_of name q tuple =
+  if List.length tuple <> Query.Ucq.arity q then
+    invalid_arg (Fmt.str "Engine.%s: tuple arity mismatch" name);
+  List.map (fun cq -> (cq, tuple)) (Query.Ucq.disjuncts q)
 
 let countermodel ?budget t q tuple =
-  if List.length tuple <> Query.Ucq.arity q then
-    invalid_arg "Engine.countermodel: tuple arity mismatch";
-  countermodel_pointed ?budget t
-    (List.map (fun cq -> (cq, tuple)) (Query.Ucq.disjuncts q))
+  countermodel_pointed ?budget t (pointed_of "countermodel" q tuple)
 
 (* Certainty at THIS session's domain bound: no countermodel with
    exactly [extra t] fresh nulls. *)
-let certain_ucq ?budget t q tuple = Option.is_none (countermodel ?budget t q tuple)
+let certain_ucq ?budget t q tuple =
+  certain_pointed ?budget t (pointed_of "certain_ucq" q tuple)
+
 let certain_cq ?budget t q tuple = certain_ucq ?budget t (Query.Ucq.of_cq q) tuple
 
-let certain_disjunction ?budget t pointed =
-  Option.is_none (countermodel_pointed ?budget t pointed)
+let certain_disjunction ?budget t pointed = certain_pointed ?budget t pointed
 
 let certain_formula ?(budget = Budget.unlimited) ?(env = SMap.empty) t f =
   with_budget t budget (fun () ->
-      match run_solver t [ -reified_lit ~env t f ] with
-      | Dpll.Unsat -> true
-      | Dpll.Sat _ -> false)
+      not (run_solver_sat t [ -reified_lit ~env t f ]))
 
 (* ------------------------------------------------------------------ *)
 (* The session cache                                                    *)
@@ -225,26 +295,43 @@ let digest_instance d =
        (Structure.Instance.facts d, Structure.Instance.domain_list d)
        [])
 
+type cache_entry = { engine : t; mutable stamp : int  (* LRU clock *) }
+
 let cache_capacity = ref 16
-let sessions : (key * t) list ref = ref []
+let sessions : (key, cache_entry) Hashtbl.t = Hashtbl.create 32
+let cache_clock = ref 0
+
+(* Evict least-recently-stamped sessions down to capacity (linear scan:
+   the cache is small and eviction rare). *)
+let evict_to cap =
+  while Hashtbl.length sessions > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k (e : cache_entry) acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (k, e.stamp))
+        sessions None
+    in
+    match victim with
+    | Some (k, _) -> Hashtbl.remove sessions k
+    | None -> ()
+  done
 
 let set_cache_capacity n =
   cache_capacity := max n 0;
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
-  in
-  sessions := take !cache_capacity !sessions
+  evict_to !cache_capacity
 
-let clear_cache () = sessions := []
-let cached_sessions () = List.length !sessions
+let clear_cache () = Hashtbl.reset sessions
+let cached_sessions () = Hashtbl.length sessions
 
 let session ?stats ?extra_signature ?budget ~extra o d =
   let key = (digest_ontology o, digest_instance d, extra) in
-  match List.assoc_opt key !sessions with
-  | Some t ->
-      sessions := (key, t) :: List.remove_assoc key !sessions;
+  incr cache_clock;
+  match Hashtbl.find_opt sessions key with
+  | Some e ->
+      e.stamp <- !cache_clock;
+      let t = e.engine in
       tally t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
       Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_hit";
       t
@@ -252,12 +339,10 @@ let session ?stats ?extra_signature ?budget ~extra o d =
       Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_miss";
       let t = create ?stats ?extra_signature ?budget ~extra o d in
       tally t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
-      let rec take k = function
-        | [] -> []
-        | _ when k = 0 -> []
-        | x :: rest -> x :: take (k - 1) rest
-      in
-      sessions := take !cache_capacity ((key, t) :: !sessions);
+      if !cache_capacity > 0 then begin
+        Hashtbl.replace sessions key { engine = t; stamp = !cache_clock };
+        evict_to !cache_capacity
+      end;
       t
 
 (* ------------------------------------------------------------------ *)

@@ -1,7 +1,16 @@
 (** Grounding of FO(=, counting) sentences over a fixed finite domain
     into propositional clauses (one SAT variable per possible fact,
     Tseitin auxiliaries for structure). Together with {!Dpll} this gives
-    the bounded model finder {!Bounded}. *)
+    the bounded model finder {!Bounded}.
+
+    The hot path is integer-only: domain elements are interned to dense
+    positions, fact variables are computed as
+    [relation_base + mixed-radix tuple rank], sentences are compiled to
+    slot-resolved form before quantifier expansion, and Tseitin clauses
+    land in a flat [int] arena consumed by the solver as slices. A
+    bounded process-wide memo replays the compiled ground circuit of
+    structurally identical (sentence, domain size) pairs across
+    sessions. See DESIGN.md, "hot-path data layout". *)
 
 type t
 
@@ -9,12 +18,13 @@ type env = Structure.Element.t Logic.Names.SMap.t
 
 exception Unbound_variable of string
 
-(** [create ~domain ~signature ()] pre-registers every possible fact
-    over the domain for the given signature. The [budget] (default
-    {!Budget.unlimited}) is checked per registered fact, per grounded
-    subformula and per emitted clause, and passed to the solver; any of
-    these points may raise {!Budget.Exhausted}. A trip leaves the
-    grounding in a consistent, resumable state. *)
+(** [create ~domain ~signature ()] registers a dense fact-variable
+    block for every relation of the signature over the (deduplicated)
+    domain. The [budget] (default {!Budget.unlimited}) is checked per
+    registered relation, per grounded subformula and per emitted
+    clause, and passed to the solver; any of these points may raise
+    {!Budget.Exhausted}. A trip leaves the grounding in a consistent,
+    resumable state. *)
 val create :
   ?budget:Budget.t ->
   domain:Structure.Element.t list ->
@@ -26,21 +36,25 @@ val create :
     one query under a deadline against a long-lived session). *)
 val set_budget : t -> Budget.t -> unit
 
-(** SAT variable of a possible fact.
+(** SAT variable of a possible fact (pure arithmetic: no hashing of the
+    fact itself).
     @raise Invalid_argument for facts outside the signature/domain. *)
 val fact_var : t -> Structure.Instance.fact -> int
 
 (** Admit further relations after creation, registering their fact
-    variables (idempotent). Used by sessions answering queries whose
-    signature was unknown at grounding time. *)
+    variables after the existing ones (idempotent). Used by sessions
+    answering queries whose signature was unknown at grounding time. *)
 val ensure_signature : t -> Logic.Signature.t -> unit
 
 (** Total SAT variables so far (facts + Tseitin auxiliaries). *)
 val nvars : t -> int
 
-(** Clauses added since the last drain, in insertion order — for pushing
-    into a persistent solver. *)
-val drain_pending : t -> int list list
+(** [iter_pending t f] calls [f buf off len] for every clause emitted
+    since the last call, as literal slices [buf.[off..off+len)] of the
+    clause arena, in emission order — for pushing into a persistent
+    solver ({!Dpll.assert_clause_slice}) without materialising lists.
+    The slices are only valid during the iteration. *)
+val iter_pending : t -> (int array -> int -> int -> unit) -> unit
 
 (** Assert that [f] holds (under [env] for its free variables). *)
 val assert_formula : ?env:env -> t -> Logic.Formula.t -> unit
@@ -69,3 +83,26 @@ val reify : ?env:env -> t -> Logic.Formula.t -> int
 (** Distinct truth-value combinations of the given literals over all
     models (each result aligns with the input literal list). *)
 val enumerate_projections : ?limit:int -> t -> int list -> bool list list
+
+(** {2 The cross-session circuit memo}
+
+    Completed groundings are memoized process-wide, keyed by
+    (operation, domain size, compiled sentence), and replayed — clause
+    slice appended, auxiliary variables shifted to fresh ones — when a
+    structurally identical grounding recurs in any session. Replay
+    still charges the budget per clause. Hits and misses are counted in
+    {!Stats.global} ([memo_hits]/[memo_misses]) and show up in the
+    profile table as the [ground.memo_replay]/[ground.memo_expand]
+    spans. *)
+
+(** Maximum number of memoized circuits (default 256; least recently
+    used evicted). [set_memo_capacity 0] disables and clears the
+    memo. *)
+val set_memo_capacity : int -> unit
+
+(** Drop every memoized circuit (for benchmarks and deterministic
+    tests). *)
+val clear_memo : unit -> unit
+
+(** Number of circuits currently memoized. *)
+val memo_size : unit -> int

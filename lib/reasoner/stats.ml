@@ -13,6 +13,8 @@ type t = {
   mutable conflicts : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
   mutable budget_timeouts : int;
   mutable budget_fuel_trips : int;
   mutable ground_seconds : float;
@@ -28,6 +30,8 @@ let create () =
     conflicts = 0;
     cache_hits = 0;
     cache_misses = 0;
+    memo_hits = 0;
+    memo_misses = 0;
     budget_timeouts = 0;
     budget_fuel_trips = 0;
     ground_seconds = 0.0;
@@ -46,6 +50,8 @@ let reset t =
   t.conflicts <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
+  t.memo_hits <- 0;
+  t.memo_misses <- 0;
   t.budget_timeouts <- 0;
   t.budget_fuel_trips <- 0;
   t.ground_seconds <- 0.0;
@@ -61,6 +67,8 @@ let add ~into t =
   into.conflicts <- into.conflicts + t.conflicts;
   into.cache_hits <- into.cache_hits + t.cache_hits;
   into.cache_misses <- into.cache_misses + t.cache_misses;
+  into.memo_hits <- into.memo_hits + t.memo_hits;
+  into.memo_misses <- into.memo_misses + t.memo_misses;
   into.budget_timeouts <- into.budget_timeouts + t.budget_timeouts;
   into.budget_fuel_trips <- into.budget_fuel_trips + t.budget_fuel_trips;
   into.ground_seconds <- into.ground_seconds +. t.ground_seconds;
@@ -77,10 +85,11 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>groundings:   %d (%.4fs)@ solves:       %d (%.4fs)@ decisions:    \
      %d@ propagations: %d@ conflicts:    %d@ cache:        %d hit(s), %d \
-     miss(es)@ budget trips: %d timeout(s), %d fuel@]"
+     miss(es)@ ground memo:  %d hit(s), %d miss(es)@ budget trips: %d \
+     timeout(s), %d fuel@]"
     t.groundings t.ground_seconds t.solves t.solve_seconds t.decisions
-    t.propagations t.conflicts t.cache_hits t.cache_misses t.budget_timeouts
-    t.budget_fuel_trips
+    t.propagations t.conflicts t.cache_hits t.cache_misses t.memo_hits
+    t.memo_misses t.budget_timeouts t.budget_fuel_trips
 
 (* Field order and key names are the documented schema (stats.mli):
    keep both stable — bench/CI consumers select keys with jq. *)
@@ -88,11 +97,12 @@ let to_json t =
   Printf.sprintf
     "{\"groundings\":%d,\"solves\":%d,\"decisions\":%d,\"propagations\":%d,\
      \"conflicts\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"memo_hits\":%d,\"memo_misses\":%d,\
      \"budget_timeouts\":%d,\"budget_fuel_trips\":%d,\
      \"ground_seconds\":%.6f,\"solve_seconds\":%.6f}"
     t.groundings t.solves t.decisions t.propagations t.conflicts t.cache_hits
-    t.cache_misses t.budget_timeouts t.budget_fuel_trips t.ground_seconds
-    t.solve_seconds
+    t.cache_misses t.memo_hits t.memo_misses t.budget_timeouts
+    t.budget_fuel_trips t.ground_seconds t.solve_seconds
 
 (* Publish a snapshot into a metrics registry under [prefix].<field>,
    with the same snake_case field names as the JSON schema. Absolute
@@ -106,6 +116,8 @@ let publish ?(prefix = "reasoner") ?(into = Obs.Metrics.global) t =
   count "conflicts" t.conflicts;
   count "cache_hits" t.cache_hits;
   count "cache_misses" t.cache_misses;
+  count "memo_hits" t.memo_hits;
+  count "memo_misses" t.memo_misses;
   count "budget_timeouts" t.budget_timeouts;
   count "budget_fuel_trips" t.budget_fuel_trips;
   Obs.Metrics.set into (prefix ^ ".ground_seconds") t.ground_seconds;

@@ -11,6 +11,8 @@ type t = {
   mutable conflicts : int;
   mutable cache_hits : int;  (** session-cache lookups that reused an engine *)
   mutable cache_misses : int;  (** lookups that had to ground *)
+  mutable memo_hits : int;  (** grounding-memo replays of a compiled circuit *)
+  mutable memo_misses : int;  (** grounding-memo expansions from scratch *)
   mutable budget_timeouts : int;  (** budget trips on a wall-clock deadline *)
   mutable budget_fuel_trips : int;  (** budget trips on fuel / clause caps *)
   mutable ground_seconds : float;  (** wall time spent grounding *)
@@ -42,6 +44,7 @@ val pp : t Fmt.t
     - ["groundings"], ["solves"], ["decisions"], ["propagations"],
       ["conflicts"] : integers
     - ["cache_hits"], ["cache_misses"] : integers
+    - ["memo_hits"], ["memo_misses"] : integers (grounding-memo traffic)
     - ["budget_timeouts"], ["budget_fuel_trips"] : integers
     - ["ground_seconds"], ["solve_seconds"] : numbers (seconds, 6
       decimal places) *)

@@ -13,6 +13,19 @@ let pp ppf = function
 
 let to_string e = Fmt.str "%a" pp e
 
+(* An equal-consistent hash for hashtables keyed by elements; the odd
+   constant keeps Null n clear of small-string hashes. *)
+let hash = function
+  | Const c -> Hashtbl.hash c
+  | Null n -> 0x2f0ed515 lxor n
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
 module Set = Set.Make (struct
   type nonrec t = t
 

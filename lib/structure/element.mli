@@ -12,5 +12,12 @@ val is_const : t -> bool
 val pp : t Fmt.t
 val to_string : t -> string
 
+(** Hash consistent with {!equal}, for {!Tbl}. *)
+val hash : t -> int
+
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+(** Hashtables keyed by elements (used for domain-position interning in
+    the grounder). *)
+module Tbl : Hashtbl.S with type key = t

@@ -56,6 +56,7 @@ let of_facts fs = List.fold_left (fun t f -> add_fact f t) empty fs
 let of_list l = of_facts (List.map (fun (r, args) -> fact r args) l)
 
 let facts t = FactSet.elements t.facts
+let iter_facts f t = FactSet.iter f t.facts
 let fact_set t = t.facts
 let mem f t = FactSet.mem f t.facts
 let domain t = t.domain

@@ -25,6 +25,10 @@ val of_facts : fact list -> t
 val of_list : (string * Element.t list) list -> t
 
 val facts : t -> fact list
+
+(** Iterate the facts without materialising a list. *)
+val iter_facts : (fact -> unit) -> t -> unit
+
 val fact_set : t -> FactSet.t
 val mem : fact -> t -> bool
 val domain : t -> Element.Set.t

@@ -7,6 +7,7 @@ let () =
       ("query", Test_query.suite);
       ("dl", Test_dl.suite);
       ("reasoner", Test_reasoner.suite);
+      ("ground", Test_ground.suite);
       ("engine", Test_engine.suite);
       ("budget", Test_budget.suite);
       ("datalog", Test_datalog.suite);
