@@ -146,10 +146,10 @@ let engine_table () =
       let eng_answers, t_eng =
         best (fun () ->
             Reasoner.Engine.clear_cache ();
-            Reasoner.Stats.reset Reasoner.Stats.global;
+            Reasoner.Stats.reset (Reasoner.Stats.global ());
             Omq.certain_answers ~max_extra omq d)
       in
-      let st = Reasoner.Stats.global in
+      let st = Reasoner.Stats.global () in
       let agree =
         List.sort compare seed_answers = List.sort compare eng_answers
       in
@@ -160,9 +160,58 @@ let engine_table () =
       Fmt.pr "         stats: %s@." (Reasoner.Stats.to_json st);
       let prefix = Fmt.str "bench.engine.chain%d" n in
       Reasoner.Stats.publish ~prefix st;
-      Obs.Metrics.set Obs.Metrics.global (prefix ^ ".speedup") (t_seed /. t_eng))
+      Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".speedup") (t_seed /. t_eng))
     [ 4; 8 ];
   Reasoner.Ground.set_memo_capacity 256
+
+let parallel_corpus_table () =
+  section "Parallel corpus: 24-ontology batch evaluation per jobs count";
+  (* The CI workload (see EXPERIMENTS.md): certain answers of one UCQ
+     over the committed 18-element instance w.r.t. every ontology of
+     the seed-2017 corpus, with a deterministic grounding-clause cap so
+     the one pathological deep ontology degrades ([out_of_fuel]) instead
+     of dominating the batch. Results are submission-ordered, so every
+     jobs count must produce identical verdicts — checked here too. *)
+  Gc.compact ();
+  let items = Omq.Corpus.generate ~seed:2017 ~n:24 () in
+  match
+    let ic = open_in_bin "data/corpus_instance.txt" in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Structure.Parse.instance_of_string s
+  with
+  | exception Sys_error m ->
+      Fmt.pr "skipped: %s (run from the repository root)@." m
+  | data ->
+      let query = Query.Parse.ucq_of_string "q(x) <- r0(x,y), C1(y)" in
+      let task = Omq.Corpus.Eval { query; data; max_extra = 2 } in
+      let run jobs = Omq.Corpus.run ~max_clauses:600_000 ~jobs task items in
+      let project (rep : Omq.Corpus.report) =
+        List.map
+          (fun (r : Omq.Corpus.result_one) ->
+            ( r.item_name,
+              match r.outcome with
+              | Ok (Omq.Corpus.Evaluated ev) ->
+                  Fmt.str "ok %b %d" ev.consistent (List.length ev.answers)
+              | Ok (Omq.Corpus.Classified _) -> "classified"
+              | Error f -> Fmt.str "%a" Reasoner.Budget.pp_reason f.reason ))
+          rep.results
+      in
+      let baseline = run 1 in
+      let expected = project baseline in
+      Fmt.pr "%-6s %-12s %-10s %s@." "jobs" "seconds" "speedup" "verdicts";
+      List.iter
+        (fun jobs ->
+          let rep = if jobs = 1 then baseline else run jobs in
+          let speedup = baseline.Omq.Corpus.seconds /. rep.Omq.Corpus.seconds in
+          Fmt.pr "%-6d %-12.3f %-10s %s@." jobs rep.Omq.Corpus.seconds
+            (Fmt.str "%.2fx" speedup)
+            (if project rep = expected then "identical" else "MISMATCH");
+          let prefix = Fmt.str "bench.corpus.jobs%d" jobs in
+          Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".seconds")
+            rep.Omq.Corpus.seconds;
+          Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".speedup") speedup)
+        [ 1; 2; 4 ]
 
 let thm5_table () =
   section "Theorem 5: the type-based Datalog!= evaluation vs certain answers";
@@ -352,7 +401,7 @@ let run_benchmarks () =
           let estimate =
             match Analyze.OLS.estimates result with
             | Some [ est ] ->
-                Obs.Metrics.set Obs.Metrics.global
+                Obs.Metrics.set (Obs.Metrics.global ())
                   ("bench." ^ name ^ ".ms_per_run")
                   (est /. 1e6);
                 Fmt.str "%.3f ms/run" (est /. 1e6)
@@ -369,7 +418,7 @@ let run_benchmarks () =
    JSON object keyed by metric name. *)
 let write_metrics path =
   let oc = open_out path in
-  output_string oc (Obs.Metrics.to_json Obs.Metrics.global);
+  output_string oc (Obs.Metrics.to_json (Obs.Metrics.global ()));
   output_char oc '\n';
   close_out oc;
   Fmt.pr "@.metrics written to %s@." path
@@ -381,7 +430,8 @@ let () =
        the grounder/solver handoff), written to a separate file so the
        committed full-run baseline is never clobbered. *)
     engine_table ();
-    Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
+    parallel_corpus_table ();
+    Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_smoke.json"
   end
   else begin
@@ -390,6 +440,7 @@ let () =
     hand_table ();
     example1_table ();
     engine_table ();
+    parallel_corpus_table ();
     thm5_table ();
     thm8_table ();
     thm10_table ();
@@ -397,7 +448,7 @@ let () =
     thm3_table ();
     unravel_table ();
     run_benchmarks ();
-    Reasoner.Stats.publish ~prefix:"bench.total" Reasoner.Stats.global;
+    Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_omq.json"
   end;
   Fmt.pr "@.done.@."

@@ -253,10 +253,10 @@ let eval_cmd =
     let* d = load_instance data in
     let* q = load_query query in
     let omq = Omq.of_tbox tbox q in
-    Reasoner.Stats.reset Reasoner.Stats.global;
+    Reasoner.Stats.reset (Reasoner.Stats.global ());
     let budget = budget_of timeout fuel in
     let session = Omq.open_session ~max_extra omq d in
-    let global = Reasoner.Stats.global in
+    let global = Reasoner.Stats.global () in
     let json_answers answers =
       json_list
         (List.map
@@ -403,18 +403,263 @@ let fig1_cmd =
 let corpus_cmd =
   let seed_arg = Arg.(value & opt int 2017 & info [ "seed" ] ~doc:"Corpus seed.") in
   let n_arg = Arg.(value & opt int 411 & info [ "n" ] ~doc:"Corpus size.") in
-  let run seed n =
-    let corpus = Bioportal.Generate.corpus ~seed ~n () in
-    let table = Bioportal.Analyze.tabulate (List.map Bioportal.Analyze.analyze corpus) in
-    Fmt.pr "%a@." Bioportal.Analyze.pp_table table;
-    let pt, pf, pq = Bioportal.Analyze.paper_reference in
-    Fmt.pr "paper reference: %d total, %d in ALCHIF depth 2, %d in ALCHIQ depth 1@." pt pf pq;
-    0
+  let dir_arg =
+    Arg.(
+      value
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory of $(b,.dl) ontology files. When omitted, the \
+             synthetic BioPortal corpus ($(b,--seed)/$(b,-n)) is used.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Results are assembled in submission order, so \
+             stdout is bit-identical for every $(docv).")
+  in
+  let classify_flag =
+    Arg.(
+      value & flag
+      & info [ "classify" ]
+          ~doc:"Classify every ontology in the Figure 1 landscape.")
+  in
+  let eval_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "eval" ] ~docv:"QUERY"
+          ~doc:
+            "Evaluate this UCQ over $(b,--data) w.r.t. every ontology of the \
+             corpus.")
+  in
+  let data_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "data" ] ~docv:"FILE" ~doc:"Instance file for $(b,--eval).")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Report aggregated engine counters on stderr after the batch.")
+  in
+  let clauses_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-clauses" ] ~docv:"N"
+          ~doc:
+            "Per-item cap on emitted ground clauses; a tripped item reports \
+             out_of_fuel. Deterministic, so stdout stays identical across \
+             $(b,--jobs) counts.")
+  in
+  (* Stdout carries only schedule-independent data: per-item verdicts in
+     submission order. Wall time, job count and engine counters vary run
+     to run (and with the item-to-domain assignment), so they go to
+     stderr — the parallel-determinism CI job diffs stdout across
+     [--jobs] counts byte for byte. *)
+  let summary stats (report : Omq.Corpus.report) =
+    let tripped =
+      List.length
+        (List.filter
+           (fun (r : Omq.Corpus.result_one) -> Result.is_error r.outcome)
+           report.results)
+    in
+    Fmt.epr "corpus: %d item(s), jobs=%d, %.3fs, %d tripped@."
+      (List.length report.results)
+      report.jobs report.seconds tripped;
+    if stats then Fmt.epr "%a@." Reasoner.Stats.pp report.total
+  in
+  let exit_of report =
+    match Omq.Corpus.worst_failure report with
+    | None -> 0
+    | Some reason -> reason_code reason
+  in
+  let failure_fields (f : Omq.Corpus.failure) =
+    [ ("outcome", json_string (reason_name f.reason)) ]
+  in
+  let render_classify json report =
+    if json then
+      Fmt.pr "%s@."
+        (json_obj
+           [
+             ("task", json_string "classify");
+             ("count", string_of_int (List.length report.Omq.Corpus.results));
+             ( "items",
+               json_list
+                 (List.map
+                    (fun (r : Omq.Corpus.result_one) ->
+                      json_obj
+                        (("name", json_string r.item_name)
+                         ::
+                         (match r.outcome with
+                         | Error f -> failure_fields f
+                         | Ok (Omq.Corpus.Evaluated _) -> assert false
+                         | Ok (Omq.Corpus.Classified c) ->
+                             [
+                               ("outcome", json_string "ok");
+                               ("dl_name", json_string c.dl_name);
+                               ("depth", string_of_int c.depth);
+                               ( "fragment",
+                                 match c.fragment with
+                                 | Some d -> json_string (Gf.Fragment.name d)
+                                 | None -> "null" );
+                               ( "status",
+                                 json_string
+                                   (status_name c.evidence.Classify.Landscape.status)
+                               );
+                             ])))
+                    report.Omq.Corpus.results) );
+           ])
+    else
+      List.iter
+        (fun (r : Omq.Corpus.result_one) ->
+          match r.outcome with
+          | Error f ->
+              Fmt.pr "%-14s %a@." r.item_name Reasoner.Budget.pp_reason f.reason
+          | Ok (Omq.Corpus.Evaluated _) -> assert false
+          | Ok (Omq.Corpus.Classified c) ->
+              Fmt.pr "%-14s %-10s depth=%d  %-12s %a@." r.item_name c.dl_name
+                c.depth
+                (match c.fragment with
+                | Some d -> Gf.Fragment.name d
+                | None -> "outside")
+                Classify.Landscape.pp_status
+                c.evidence.Classify.Landscape.status)
+        report.Omq.Corpus.results
+  in
+  let render_eval json q report =
+    let boolean = Query.Ucq.is_boolean q in
+    let json_answers answers =
+      json_list
+        (List.map
+           (fun t ->
+             json_list (List.map (fun e -> json_string (element_name e)) t))
+           answers)
+    in
+    if json then
+      Fmt.pr "%s@."
+        (json_obj
+           [
+             ("task", json_string "eval");
+             ("boolean", json_bool boolean);
+             ("count", string_of_int (List.length report.Omq.Corpus.results));
+             ( "items",
+               json_list
+                 (List.map
+                    (fun (r : Omq.Corpus.result_one) ->
+                      json_obj
+                        (("name", json_string r.item_name)
+                         ::
+                         (match r.outcome with
+                         | Error f -> failure_fields f
+                         | Ok (Omq.Corpus.Classified _) -> assert false
+                         | Ok (Omq.Corpus.Evaluated e) ->
+                             ("outcome", json_string "ok")
+                             :: ("consistent", json_bool e.consistent)
+                             ::
+                             (if not e.consistent then []
+                              else if boolean then
+                                [ ("certain", json_bool (e.answers <> [])) ]
+                              else
+                                [
+                                  ( "answer_count",
+                                    string_of_int (List.length e.answers) );
+                                  ("answers", json_answers e.answers);
+                                ]))))
+                    report.Omq.Corpus.results) );
+           ])
+    else
+      List.iter
+        (fun (r : Omq.Corpus.result_one) ->
+          match r.outcome with
+          | Error f ->
+              Fmt.pr "%-14s %a@." r.item_name Reasoner.Budget.pp_reason f.reason
+          | Ok (Omq.Corpus.Classified _) -> assert false
+          | Ok (Omq.Corpus.Evaluated e) ->
+              if not e.consistent then Fmt.pr "%-14s inconsistent@." r.item_name
+              else if boolean then
+                Fmt.pr "%-14s certain=%b@." r.item_name (e.answers <> [])
+              else
+                Fmt.pr "%-14s %d answer(s)@." r.item_name
+                  (List.length e.answers))
+        report.Omq.Corpus.results
+  in
+  let run dir seed n jobs classify eval_q data max_extra timeout fuel
+      max_clauses json stats trace fmt profile =
+    run_result @@ fun () ->
+    with_tracing trace fmt profile @@ fun () ->
+    let items () =
+      match dir with
+      | Some d -> Omq.Corpus.load_dir d
+      | None -> Ok (Omq.Corpus.generate ~seed ~n ())
+    in
+    match (classify, eval_q) with
+    | true, Some _ -> Error "--classify and --eval are mutually exclusive"
+    | false, Some qtext ->
+        let* data_path =
+          match data with
+          | Some d -> Ok d
+          | None -> Error "--eval requires --data FILE"
+        in
+        let* q = load_query qtext in
+        let* d = load_instance data_path in
+        let* items = items () in
+        let report =
+          Omq.Corpus.run ?timeout ?fuel ?max_clauses ~jobs
+            (Omq.Corpus.Eval { query = q; data = d; max_extra })
+            items
+        in
+        render_eval json q report;
+        summary stats report;
+        Ok (exit_of report)
+    | true, None | false, None when classify || dir <> None ->
+        let* items = items () in
+        let report =
+          Omq.Corpus.run ?timeout ?fuel ?max_clauses ~jobs Omq.Corpus.Classify
+            items
+        in
+        render_classify json report;
+        summary stats report;
+        Ok (exit_of report)
+    | _ ->
+        (* Legacy default: the Section 1 table over the synthetic corpus,
+           analyzed on the pool (submission-order tabulation keeps the
+           table identical at every --jobs). *)
+        let corpus = Array.of_list (Bioportal.Generate.corpus ~seed ~n ()) in
+        let reports =
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              Parallel.Pool.map pool Bioportal.Analyze.analyze corpus)
+        in
+        let table = Bioportal.Analyze.tabulate (Array.to_list reports) in
+        Fmt.pr "%a@." Bioportal.Analyze.pp_table table;
+        let pt, pf, pq = Bioportal.Analyze.paper_reference in
+        Fmt.pr
+          "paper reference: %d total, %d in ALCHIF depth 2, %d in ALCHIQ depth 1@."
+          pt pf pq;
+        Ok 0
   in
   Cmd.v
     (Cmd.info "corpus"
-       ~doc:"Generate the synthetic BioPortal corpus and print the Section 1 table.")
-    Term.(const run $ seed_arg $ n_arg)
+       ~doc:
+         "Batch-process a corpus of ontologies on $(b,--jobs) worker domains: \
+          $(b,--classify) locates each in the Figure 1 landscape, $(b,--eval) \
+          answers a UCQ over $(b,--data) w.r.t. each; with neither, prints \
+          the Section 1 table of the synthetic BioPortal corpus. Per-item \
+          verdicts go to stdout in submission order (bit-identical for every \
+          job count); timings and counters go to stderr.")
+    Term.(
+      const run $ dir_arg $ seed_arg $ n_arg $ jobs_arg $ classify_flag
+      $ eval_arg $ data_arg $ bound_arg $ timeout_arg $ fuel_arg $ clauses_arg
+      $ json_arg $ stats_arg $ trace_arg $ trace_format_arg $ profile_arg)
 
 let decide_cmd =
   let out_arg =

@@ -264,3 +264,226 @@ let try_decide_ptime budget ?seed ?max_outdegree ?samples omq =
 let pp ppf omq =
   Fmt.pf ppf "@[<v>ontology:@ %a@ query:@ %a@]" Logic.Ontology.pp omq.ontology
     Query.Ucq.pp omq.query
+
+(* ------------------------------------------------------------------ *)
+(* The corpus runner                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch classification / evaluation of many ontologies on a
+   Parallel.Pool — the paper's own workload shape (411 BioPortal
+   ontologies) rather than one session at a time. Corpus items are
+   independent, so the fan-out is shared-nothing: each worker domain
+   grows its own engine registry, grounding memo and Stats record
+   (Domain.DLS), and the only cross-domain artifacts are the per-item
+   results, assembled in submission order. That assembly (plus
+   per-item budgets and traces) is what makes [--jobs n] output
+   bit-identical to [--jobs 1]. *)
+module Corpus = struct
+  type item = { name : string; tbox : Dl.Tbox.t }
+
+  let generate ?(seed = 2017) ~n () =
+    List.mapi
+      (fun i tbox -> { name = Printf.sprintf "gen%d-%03d" seed i; tbox })
+      (Bioportal.Generate.corpus ~seed ~n ())
+
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error m
+
+  let load_file path =
+    Result.bind (read_file path) (fun text ->
+        match Dl.Parser.parse_tbox text with
+        | tbox -> Ok tbox
+        | exception Dl.Parser.Parse_error { line; message } ->
+            Error (Printf.sprintf "%s:%d: %s" path line message)
+        | exception Dl.Lexer.Lex_error { line; col; message } ->
+            Error (Printf.sprintf "%s:%d:%d: %s" path line col message))
+
+  (* Items sorted by file name: directory enumeration order is
+     filesystem-dependent, and the corpus order is part of the
+     deterministic output contract. *)
+  let load_dir dir =
+    match Sys.readdir dir with
+    | exception Sys_error m -> Error m
+    | names ->
+        let files =
+          Array.to_list names
+          |> List.filter (fun f -> Filename.check_suffix f ".dl")
+          |> List.sort compare
+        in
+        if files = [] then Error (dir ^ ": no .dl ontology files")
+        else
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | f :: rest -> (
+                match load_file (Filename.concat dir f) with
+                | Ok tbox ->
+                    go ({ name = Filename.chop_suffix f ".dl"; tbox } :: acc)
+                      rest
+                | Error m -> Error m)
+          in
+          go [] files
+
+  type task =
+    | Classify
+    | Eval of {
+        query : Query.Ucq.t;
+        data : Structure.Instance.t;
+        max_extra : int;
+      }
+
+  type classification = {
+    dl_name : string;
+    depth : int;
+    fragment : Gf.Fragment.t option;
+    evidence : Classify.Landscape.evidence;
+  }
+
+  type evaluation = {
+    consistent : bool;
+    answers : Structure.Element.t list list;
+  }
+
+  type verdict = Classified of classification | Evaluated of evaluation
+
+  (* A budget trip on one item degrades that item alone — the pool keeps
+     running its siblings; [certified] is what the item had proven
+     before the trip (time-dependent, so callers must keep it out of
+     deterministic output). *)
+  type failure = {
+    reason : Reasoner.Budget.reason;
+    certified : Structure.Element.t list list;
+  }
+
+  type outcome = (verdict, failure) result
+
+  type result_one = {
+    item_name : string;
+    outcome : outcome;
+    seconds : float;  (* wall time of this item, on its worker *)
+    stats : Reasoner.Stats.t;  (* engines this item's session forced *)
+  }
+
+  type report = {
+    results : result_one list;  (* submission order *)
+    jobs : int;
+    seconds : float;  (* wall time of the whole batch *)
+    total : Reasoner.Stats.t;  (* per-item stats summed in order *)
+  }
+
+  let classify_item item =
+    let o = Dl.Translate.tbox item.tbox in
+    Ok
+      (Classified
+         {
+           dl_name = Dl.Tbox.name item.tbox;
+           depth = Dl.Tbox.depth item.tbox;
+           fragment = Gf.Fragment.of_ontology o;
+           evidence = Classify.Landscape.of_tbox item.tbox;
+         })
+
+  (* The per-item budget is created at item start on the item's worker:
+     wall-clock deadlines are relative to when the item begins running,
+     not to batch submission, so a queue full of healthy items behind
+     one slow one does not time out in bulk. *)
+  let eval_item ~timeout ~fuel ~max_clauses ~query ~data ~max_extra item =
+    let budget =
+      match (timeout, fuel, max_clauses) with
+      | None, None, None -> Reasoner.Budget.unlimited
+      | _ -> Reasoner.Budget.create ?timeout ?fuel ?max_clauses ()
+    in
+    let s = open_session ~max_extra (of_tbox item.tbox query) data in
+    let outcome =
+      match Session.is_consistent_within budget s with
+      | `Timeout () -> Error { reason = Reasoner.Budget.Timeout; certified = [] }
+      | `Out_of_fuel () -> Error { reason = Reasoner.Budget.Fuel; certified = [] }
+      | `Ok false -> Ok (Evaluated { consistent = false; answers = [] })
+      | `Ok true -> (
+          match Session.certain_answers_within budget s with
+          | `Ok answers -> Ok (Evaluated { consistent = true; answers })
+          | `Timeout p ->
+              Error
+                {
+                  reason = Reasoner.Budget.Timeout;
+                  certified = p.Session.certified;
+                }
+          | `Out_of_fuel p ->
+              Error
+                {
+                  reason = Reasoner.Budget.Fuel;
+                  certified = p.Session.certified;
+                })
+    in
+    (outcome, Session.stats s)
+
+  let run ?timeout ?fuel ?max_clauses ?(jobs = 1) task items =
+    Obs.Trace.with_span
+      ~attrs:[ ("jobs", Obs.Trace.Int jobs); ("items", Obs.Trace.Int (List.length items)) ]
+      "omq.corpus"
+    @@ fun () ->
+    let items_a = Array.of_list items in
+    (* Capture tracing intent on the submitting domain: workers have no
+       ambient collector of their own, so each traced item records into
+       a private collector merged below, in submission order. *)
+    let traced = Obs.Trace.enabled () in
+    let process ~worker item =
+      let run_one () =
+        let (outcome, stats), seconds =
+          Obs.Clock.timed (fun () ->
+              match task with
+              | Classify -> (classify_item item, Reasoner.Stats.create ())
+              | Eval { query; data; max_extra } ->
+                  eval_item ~timeout ~fuel ~max_clauses ~query ~data ~max_extra item)
+        in
+        { item_name = item.name; outcome; seconds; stats }
+      in
+      if not traced then (run_one (), None)
+      else
+        let r, c =
+          Obs.Trace.collect (fun () ->
+              Obs.Trace.with_span
+                ~attrs:[ ("item", Obs.Trace.Str item.name) ]
+                "corpus.item" run_one)
+        in
+        (r, Some (worker, c))
+    in
+    let t0 = Obs.Clock.now () in
+    let results =
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Pool.mapw pool process items_a)
+    in
+    let seconds = Obs.Clock.now () -. t0 in
+    (match Obs.Trace.active () with
+    | Some into ->
+        Array.iter
+          (function
+            | _, Some (worker, c) ->
+                Obs.Trace.absorb ~into
+                  ~attrs:[ ("domain", Obs.Trace.Int worker) ]
+                  c
+            | _, None -> ())
+          results
+    | None -> ());
+    let results = Array.to_list (Array.map fst results) in
+    let total = Reasoner.Stats.create () in
+    List.iter (fun r -> Reasoner.Stats.add ~into:total r.stats) results;
+    { results; jobs; seconds; total }
+
+  (* The most severe reason across items: timeouts win over fuel trips
+     (mirrors the CLI exit-code convention 124 > 125 in urgency). *)
+  let worst_failure report =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r.outcome) with
+        | Some Reasoner.Budget.Timeout, _ -> acc
+        | _, Error { reason = Reasoner.Budget.Timeout; _ } ->
+            Some Reasoner.Budget.Timeout
+        | None, Error { reason; _ } -> Some reason
+        | acc, _ -> acc)
+      None report.results
+end

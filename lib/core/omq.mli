@@ -181,9 +181,109 @@ val try_decide_ptime :
   t ->
   (Classify.Decide.verdict, int) Reasoner.Budget.outcome
 
-(** Drop every process-wide cache the answering stack keeps (the engine
-    session registry and the grounder's circuit memo), for cold-path
-    measurements and bounding long-process memory. *)
+(** Drop every cache the answering stack keeps on the calling domain
+    (the engine session registry and the grounder's circuit memo), for
+    cold-path measurements and bounding long-process memory. Caches are
+    domain-local, so this clears the calling domain only — worker
+    domains of a {!Corpus} run keep (and reuse) their own. *)
 val clear_caches : unit -> unit
+
+(** Batch classification / evaluation of a corpus of ontologies on a
+    {!Parallel.Pool} — the paper's experimental shape (hundreds of
+    BioPortal ontologies) run many-at-once.
+
+    Corpus items are independent and every mutable structure of the
+    answering stack is domain-local, so the fan-out is shared-nothing:
+    each worker domain keeps its own engine session registry, grounding
+    memo and stats record, and results are assembled in submission
+    order. Consequently a run's results (and any rendering that omits
+    timings and cache counters) are bit-identical for every [jobs]
+    count. *)
+module Corpus : sig
+  type item = { name : string; tbox : Dl.Tbox.t }
+
+  (** A deterministic synthetic corpus ({!Bioportal.Generate.corpus}),
+      items named [gen<seed>-<index>]. *)
+  val generate : ?seed:int -> n:int -> unit -> item list
+
+  (** All [.dl] files of a directory, sorted by file name (enumeration
+      order is filesystem-dependent, and corpus order is part of the
+      deterministic output contract); item names drop the extension.
+      [Error] on an unreadable directory, an unparsable file, or no
+      [.dl] files at all. *)
+  val load_dir : string -> (item list, string) result
+
+  (** One [.dl] file; the caller picks the item name. *)
+  val load_file : string -> (Dl.Tbox.t, string) result
+
+  type task =
+    | Classify  (** Figure 1 landscape classification, per ontology *)
+    | Eval of {
+        query : Query.Ucq.t;
+        data : Structure.Instance.t;
+        max_extra : int;
+      }  (** certain answers of (O, q) over [data], per ontology O *)
+
+  type classification = {
+    dl_name : string;
+    depth : int;
+    fragment : Gf.Fragment.t option;
+    evidence : Classify.Landscape.evidence;
+  }
+
+  type evaluation = {
+    consistent : bool;
+    answers : Structure.Element.t list list;
+  }
+
+  type verdict = Classified of classification | Evaluated of evaluation
+
+  (** A budget trip on one item degrades that item alone — its siblings
+      still run to completion. [certified] is what the item had proven
+      before tripping; it is schedule-dependent, so deterministic
+      renderings must omit it. *)
+  type failure = {
+    reason : Reasoner.Budget.reason;
+    certified : Structure.Element.t list list;
+  }
+
+  type outcome = (verdict, failure) result
+
+  type result_one = {
+    item_name : string;
+    outcome : outcome;
+    seconds : float;  (** wall time of this item, on its worker *)
+    stats : Reasoner.Stats.t;  (** engines this item's session forced *)
+  }
+
+  type report = {
+    results : result_one list;  (** submission order *)
+    jobs : int;
+    seconds : float;  (** wall time of the whole batch *)
+    total : Reasoner.Stats.t;  (** per-item stats summed in order *)
+  }
+
+  (** [run ?timeout ?fuel ?max_clauses ?jobs task items] processes
+      every item on a pool of [jobs] domains (default 1 — a plain
+      sequential loop). [timeout] / [fuel] / [max_clauses] bound each
+      item separately: the budget is
+      created when the item starts on its worker, so deadlines are
+      relative to item start, not batch submission. If tracing is
+      enabled on the calling domain, each item runs under a private
+      collector that is merged into the ambient one in submission
+      order, spans tagged with the worker's [domain] index. *)
+  val run :
+    ?timeout:float ->
+    ?fuel:int ->
+    ?max_clauses:int ->
+    ?jobs:int ->
+    task ->
+    item list ->
+    report
+
+  (** The most severe budget reason across items ([Timeout] over
+      [Fuel]), if any tripped — drives the CLI exit code. *)
+  val worst_failure : report -> Reasoner.Budget.reason option
+end
 
 val pp : t Fmt.t

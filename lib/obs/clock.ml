@@ -8,14 +8,19 @@
    [now] is monotone: raw gettimeofday can step backwards under NTP
    adjustment, and a negative span duration would corrupt every trace
    consumer (Perfetto rejects the file), so we clamp against the last
-   value handed out. *)
+   value handed out. The clamp is an [Atomic] so the guarantee holds
+   across domains — per-worker trace collectors are merged into one
+   timeline at pool join, and the merged file must stay monotone too. *)
 
-let last = ref 0.0
+let last = Atomic.make 0.0
 
-let now () =
-  let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+let rec clamp t =
+  let l = Atomic.get last in
+  if t <= l then l
+  else if Atomic.compare_and_set last l t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())
 
 (* Run [f] and return its result with its wall time. *)
 let timed f =

@@ -19,9 +19,14 @@ type t = { table : (string, metric) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 32 }
 
-(* The process-wide registry: Stats publication and the bench harness
-   both write here by default. *)
-let global = create ()
+(* The default registry, one per domain: Stats publication and the
+   bench harness both write here by default. A registry is a plain
+   hashtable of mutable cells, so sharing one across domains would race
+   on every write; giving each domain its own (merged explicitly by
+   whoever joins the domains, if they care) keeps the hot increment
+   path lock-free. *)
+let global_key = Domain.DLS.new_key create
+let global () = Domain.DLS.get global_key
 
 let reset t = Hashtbl.reset t.table
 

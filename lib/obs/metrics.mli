@@ -13,9 +13,11 @@ type t
 
 val create : unit -> t
 
-(** The process-wide registry ({!Reasoner.Stats} publication and the
-    bench harness write here by default). *)
-val global : t
+(** The default registry — one per domain ({!Reasoner.Stats}
+    publication and the bench harness write here by default). Being
+    domain-local keeps writes race-free without a lock; a parallel
+    runner that wants one view merges per-domain snapshots itself. *)
+val global : unit -> t
 
 val reset : t -> unit
 

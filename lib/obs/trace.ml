@@ -1,7 +1,7 @@
 (* Hierarchical tracing: spans (named intervals with attributes and a
    parent) plus a bounded ring buffer of instant events. One collector
-   is installed process-wide; when none is installed every entry point
-   is a no-op whose cost is a single load and branch — the reasoning
+   is installed per domain; when none is installed every entry point
+   is a no-op whose cost is a DLS load and branch — the reasoning
    stack is instrumented unconditionally and relies on this.
 
    Invariants the exporters and tests lean on:
@@ -67,34 +67,46 @@ let create ?(ring_capacity = default_ring_capacity) () =
 (* The ambient collector                                                *)
 (* ------------------------------------------------------------------ *)
 
-let state : t option ref = ref None
+(* The installed collector is DOMAIN-LOCAL: a collector is a
+   single-writer structure (span array, stack, ring), so sharing one
+   across domains would race on every record. Each worker domain starts
+   with no collector; a parallel runner that wants worker traces runs
+   each item under [collect] on the worker and merges the per-item
+   collectors into the parent's at join via [absorb] (tagging the
+   adopted roots with a [domain] attribute). See DESIGN.md §5,
+   "Domain-locality invariants". *)
 
-let install c = state := Some c
+let state : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install c = Domain.DLS.set state (Some c)
 
 let uninstall () =
-  let c = !state in
-  state := None;
+  let c = Domain.DLS.get state in
+  Domain.DLS.set state None;
   c
 
-let active () = !state
-let enabled () = Option.is_some !state
+let active () = Domain.DLS.get state
+let enabled () = Option.is_some (Domain.DLS.get state)
 
 (* [collect f] runs [f] under a fresh installed collector and returns
    its result together with the collector (uninstalled again), restoring
    whatever was installed before. *)
 let collect ?ring_capacity f =
-  let previous = !state in
+  let previous = Domain.DLS.get state in
   let c = create ?ring_capacity () in
-  state := Some c;
+  Domain.DLS.set state (Some c);
   let r =
-    Fun.protect ~finally:(fun () -> state := previous) f
+    Fun.protect ~finally:(fun () -> Domain.DLS.set state previous) f
   in
   (r, c)
 
 (* Classifiers mapping exceptions to span-status labels, registered by
    client libraries (e.g. Reasoner.Budget maps its Exhausted trips to
    "timeout"/"out_of_fuel"). First match wins; the fallback is the
-   printed exception. *)
+   printed exception. Registration happens at module initialisation on
+   the main domain, before any worker can spawn — spawned domains
+   observe the completed list through Domain.spawn's happens-before
+   edge, so the plain ref is safe. *)
 let exn_labels : (exn -> string option) list ref = ref []
 let register_exn_label f = exn_labels := f :: !exn_labels
 
@@ -154,7 +166,7 @@ let close_span c id status =
   c.stack <- pop c.stack
 
 let with_span ?(attrs = []) name f =
-  match !state with
+  match Domain.DLS.get state with
   | None -> f ()
   | Some c -> (
       let id = open_span c name attrs in
@@ -167,7 +179,7 @@ let with_span ?(attrs = []) name f =
           raise exn)
 
 let event ?(attrs = []) name =
-  match !state with
+  match Domain.DLS.get state with
   | None -> ()
   | Some c ->
       let span_id = match c.stack with [] -> -1 | s :: _ -> s in
@@ -176,7 +188,7 @@ let event ?(attrs = []) name =
       c.nevents <- c.nevents + 1
 
 let add_attr name v =
-  match !state with
+  match Domain.DLS.get state with
   | None -> ()
   | Some c -> (
       match c.stack with
@@ -186,7 +198,7 @@ let add_attr name v =
           s.attrs <- (name, v) :: s.attrs)
 
 let set_status status =
-  match !state with
+  match Domain.DLS.get state with
   | None -> ()
   | Some c -> (
       match c.stack with
@@ -225,3 +237,40 @@ let well_formed c =
                p.start_s <= s.start_s
                && p.start_s +. p.dur_s >= s.start_s +. s.dur_s))
        (spans c)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-collector merge                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [absorb ~into child] appends [child]'s record into [into]: span ids
+   shift by [into]'s span count (keeping them dense, in adoption order,
+   with parent < id), [child]'s roots become children of [into]'s
+   innermost open span (or roots, if none is open) and carry [attrs] —
+   the parallel runner tags them with the worker's domain index and the
+   item name. Events replay oldest-first with remapped span ids.
+   Timestamps need no adjustment: Clock.now is monotone across domains.
+   [child] must be quiescent (its recording run finished) and is not
+   modified. *)
+let absorb ?(attrs = []) ~into child =
+  let off = into.nspans in
+  let adopt = match into.stack with [] -> -1 | p :: _ -> p in
+  for i = 0 to child.nspans - 1 do
+    grow into;
+    let s = child.spans.(i) in
+    let root = s.parent = -1 in
+    into.spans.(into.nspans) <-
+      {
+        s with
+        id = s.id + off;
+        parent = (if root then adopt else s.parent + off);
+        attrs = (if root then List.rev_append attrs s.attrs else s.attrs);
+      };
+    into.nspans <- into.nspans + 1
+  done;
+  List.iter
+    (fun e ->
+      let span_id = if e.span_id = -1 then adopt else e.span_id + off in
+      into.ring.(into.nevents mod Array.length into.ring) <-
+        Some { e with span_id };
+      into.nevents <- into.nevents + 1)
+    (events child)

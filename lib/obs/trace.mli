@@ -1,8 +1,10 @@
 (** Hierarchical spans with monotonic timestamps, attributes and a
     bounded event ring buffer.
 
-    A {!t} is a collector. At most one is installed process-wide
-    ({!install}); when none is, every recording entry point
+    A {!t} is a collector. At most one is installed per domain
+    ({!install} — the ambient slot is domain-local state, so worker
+    domains trace independently and merge via {!absorb}); when none is,
+    every recording entry point
     ({!with_span}, {!event}, {!add_attr}, {!set_status}) is a no-op
     costing a single load and branch, so the reasoning stack carries its
     instrumentation unconditionally.
@@ -81,6 +83,18 @@ val add_attr : string -> attr -> unit
 (** Set the status of the innermost open span (kept on close unless the
     close itself carries a status and none was set). *)
 val set_status : string -> unit
+
+(** {2 Merging} *)
+
+(** [absorb ~into child] appends the finished collector [child]'s spans
+    and events into [into]: span ids are shifted past [into]'s
+    (staying dense with [parent < id]), [child]'s root spans are
+    adopted by [into]'s innermost open span (or become roots) and are
+    tagged with [attrs]. Used by the parallel corpus runner to merge
+    per-worker collectors into the parent's at pool join, tagging each
+    adopted root with its [domain] index. Timestamps are comparable
+    across collectors because {!Clock.now} is monotone across domains. *)
+val absorb : ?attrs:(string * attr) list -> into:t -> t -> unit
 
 (** {2 Introspection} *)
 

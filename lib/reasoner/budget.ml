@@ -112,7 +112,7 @@ type ('a, 'p) outcome = [ `Ok of 'a | `Timeout of 'p | `Out_of_fuel of 'p ]
 let protect t ~partial f =
   try `Ok (f ())
   with Exhausted r when t.tripped = Some r ->
-    let s = Stats.global in
+    let s = Stats.global () in
     (* The inner spans already unwound (closed with the classifier
        label); the event and status land on the still-open enclosing
        span — for a traced query, its root. *)

@@ -57,7 +57,8 @@ let stats t = t.stats
 (* Mirror every update into the global record, once. *)
 let tally t f =
   f t.stats;
-  if t.stats != Stats.global then f Stats.global
+  let g = Stats.global () in
+  if t.stats != g then f g
 
 (* Run [f] with [b] installed as the session budget (both here and on
    the grounder), restoring the unlimited budget afterwards — including
@@ -85,15 +86,14 @@ let sync t =
    the per-session record here — also on a budget trip, so partial
    groundings stay accounted for. *)
 let with_memo_delta st f =
-  let h0 = Stats.global.Stats.memo_hits
-  and m0 = Stats.global.Stats.memo_misses in
+  let g = Stats.global () in
+  let h0 = g.Stats.memo_hits and m0 = g.Stats.memo_misses in
   Fun.protect
     ~finally:(fun () ->
-      if st != Stats.global then begin
-        st.Stats.memo_hits <-
-          st.Stats.memo_hits + (Stats.global.Stats.memo_hits - h0);
+      if st != g then begin
+        st.Stats.memo_hits <- st.Stats.memo_hits + (g.Stats.memo_hits - h0);
         st.Stats.memo_misses <-
-          st.Stats.memo_misses + (Stats.global.Stats.memo_misses - m0)
+          st.Stats.memo_misses + (g.Stats.memo_misses - m0)
       end)
     f
 
@@ -297,40 +297,56 @@ let digest_instance d =
 
 type cache_entry = { engine : t; mutable stamp : int  (* LRU clock *) }
 
-let cache_capacity = ref 16
-let sessions : (key, cache_entry) Hashtbl.t = Hashtbl.create 32
-let cache_clock = ref 0
+(* The registry is DOMAIN-LOCAL: engines hold single-writer solver and
+   grounder state, so handing one engine to two domains is never sound.
+   Each worker domain grows its own LRU of sessions for the items it
+   happens to process (shared-nothing, like the grounding memo);
+   [clear_cache] and [set_cache_capacity] act on the calling domain
+   only. See DESIGN.md §5, "Domain-locality invariants". *)
+type registry = {
+  sessions : (key, cache_entry) Hashtbl.t;
+  mutable clock : int;
+  mutable capacity : int;
+}
+
+let registry_key =
+  Domain.DLS.new_key (fun () ->
+      { sessions = Hashtbl.create 32; clock = 0; capacity = 16 })
+
+let registry () = Domain.DLS.get registry_key
 
 (* Evict least-recently-stamped sessions down to capacity (linear scan:
    the cache is small and eviction rare). *)
-let evict_to cap =
-  while Hashtbl.length sessions > cap do
+let evict_to r cap =
+  while Hashtbl.length r.sessions > cap do
     let victim =
       Hashtbl.fold
         (fun k (e : cache_entry) acc ->
           match acc with
           | Some (_, stamp) when stamp <= e.stamp -> acc
           | _ -> Some (k, e.stamp))
-        sessions None
+        r.sessions None
     in
     match victim with
-    | Some (k, _) -> Hashtbl.remove sessions k
+    | Some (k, _) -> Hashtbl.remove r.sessions k
     | None -> ()
   done
 
 let set_cache_capacity n =
-  cache_capacity := max n 0;
-  evict_to !cache_capacity
+  let r = registry () in
+  r.capacity <- max n 0;
+  evict_to r r.capacity
 
-let clear_cache () = Hashtbl.reset sessions
-let cached_sessions () = Hashtbl.length sessions
+let clear_cache () = Hashtbl.reset (registry ()).sessions
+let cached_sessions () = Hashtbl.length (registry ()).sessions
 
 let session ?stats ?extra_signature ?budget ~extra o d =
+  let r = registry () in
   let key = (digest_ontology o, digest_instance d, extra) in
-  incr cache_clock;
-  match Hashtbl.find_opt sessions key with
+  r.clock <- r.clock + 1;
+  match Hashtbl.find_opt r.sessions key with
   | Some e ->
-      e.stamp <- !cache_clock;
+      e.stamp <- r.clock;
       let t = e.engine in
       tally t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
       Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_hit";
@@ -339,9 +355,9 @@ let session ?stats ?extra_signature ?budget ~extra o d =
       Obs.Trace.event ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.cache_miss";
       let t = create ?stats ?extra_signature ?budget ~extra o d in
       tally t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
-      if !cache_capacity > 0 then begin
-        Hashtbl.replace sessions key { engine = t; stamp = !cache_clock };
-        evict_to !cache_capacity
+      if r.capacity > 0 then begin
+        Hashtbl.replace r.sessions key { engine = t; stamp = r.clock };
+        evict_to r r.capacity
       end;
       t
 

@@ -75,6 +75,11 @@ val certain_formula :
 
 (** {2 The session cache}
 
+    The registry is domain-local: an engine holds single-writer solver
+    and grounder state, so engines are never shared across domains —
+    each worker domain keeps its own LRU, and {!set_cache_capacity} /
+    {!clear_cache} act on the calling domain only.
+
     Sessions are cached LRU, keyed by (ontology digest, instance digest,
     extra bound); hits and misses are recorded in the stats records. A
     session enters the cache only after its grounding completed, so a

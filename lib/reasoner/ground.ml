@@ -545,7 +545,7 @@ let rec assert_g t g =
 (* The cross-session circuit memo                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Process-wide bounded LRU over completed groundings. The key is
+(* Domain-local bounded LRU over completed groundings. The key is
    (operation, |dom|, compiled formula): the compiled form embeds
    relation bases and element positions, so two equal keys ground to
    literally identical clause slices — up to the auxiliary variables,
@@ -575,31 +575,49 @@ module MemoTbl = Hashtbl.Make (struct
   let hash k = Hashtbl.hash_param 100 256 k
 end)
 
-let memo : memo_entry MemoTbl.t = MemoTbl.create 512
-let memo_capacity = ref 256
-let memo_clock = ref 0
+(* The memo is DOMAIN-LOCAL: one table, capacity and LRU clock per
+   domain. The table is hot on every grounding and an unguarded shared
+   Hashtbl corrupts under concurrent resize (and a mutex would serialize
+   exactly the work the pool exists to spread), so each worker warms its
+   own memo — shared-nothing, merged never. [clear_memo] and
+   [set_memo_capacity] act on the calling domain only; see DESIGN.md §5,
+   "Domain-locality invariants". *)
+type memo_state = {
+  table : memo_entry MemoTbl.t;
+  mutable capacity : int;
+  mutable clock : int;
+}
 
-let clear_memo () = MemoTbl.reset memo
+let memo_key =
+  Domain.DLS.new_key (fun () ->
+      { table = MemoTbl.create 512; capacity = 256; clock = 0 })
 
-let memo_size () = MemoTbl.length memo
+let memo_state () = Domain.DLS.get memo_key
+
+let clear_memo () = MemoTbl.reset (memo_state ()).table
+
+let memo_size () = MemoTbl.length (memo_state ()).table
 
 let set_memo_capacity n =
-  memo_capacity := max n 0;
-  if !memo_capacity = 0 then clear_memo ()
+  let m = memo_state () in
+  m.capacity <- max n 0;
+  if m.capacity = 0 then MemoTbl.reset m.table
+
+let memo_capacity () = (memo_state ()).capacity
 
 (* Batch eviction: when the table crosses capacity, drop the oldest
    tenth in one stamp-ordered sweep, so workloads with more distinct
    circuits than capacity pay amortized O(log) per insert instead of a
    full-table scan per eviction. *)
-let memo_evict () =
-  if MemoTbl.length memo > !memo_capacity then begin
+let memo_evict m =
+  if MemoTbl.length m.table > m.capacity then begin
     let entries =
-      MemoTbl.fold (fun k e acc -> (e.stamp, k) :: acc) memo []
+      MemoTbl.fold (fun k e acc -> (e.stamp, k) :: acc) m.table []
     in
     let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
-    let doomed = MemoTbl.length memo - (!memo_capacity * 9 / 10) in
+    let doomed = MemoTbl.length m.table - (m.capacity * 9 / 10) in
     List.iteri
-      (fun i (_, k) -> if i < doomed then MemoTbl.remove memo k)
+      (fun i (_, k) -> if i < doomed then MemoTbl.remove m.table k)
       entries
   end
 
@@ -641,17 +659,20 @@ let memo_replay t e =
    the emitted slice. Hits and misses are counted in [Stats.global] and
    appear in the profile table via the two span names. *)
 let memoized t op cf expand =
-  if !memo_capacity = 0 then expand ()
+  let m = memo_state () in
+  if m.capacity = 0 then expand ()
   else begin
     let key = (op, Array.length t.domain, cf) in
-    incr memo_clock;
-    match MemoTbl.find_opt memo key with
+    m.clock <- m.clock + 1;
+    match MemoTbl.find_opt m.table key with
     | Some e ->
-        e.stamp <- !memo_clock;
-        Stats.global.Stats.memo_hits <- Stats.global.Stats.memo_hits + 1;
+        e.stamp <- m.clock;
+        let g = Stats.global () in
+        g.Stats.memo_hits <- g.Stats.memo_hits + 1;
         Obs.Trace.with_span "ground.memo_replay" (fun () -> memo_replay t e)
     | None ->
-        Stats.global.Stats.memo_misses <- Stats.global.Stats.memo_misses + 1;
+        let g = Stats.global () in
+        g.Stats.memo_misses <- g.Stats.memo_misses + 1;
         Obs.Trace.with_span "ground.memo_expand" (fun () ->
             let boundary = t.nvars in
             let start = t.arena_len in
@@ -662,11 +683,11 @@ let memoized t op cf expand =
                 n_aux = t.nvars - boundary;
                 boundary;
                 result;
-                stamp = !memo_clock;
+                stamp = m.clock;
               }
             in
-            MemoTbl.replace memo key entry;
-            memo_evict ();
+            MemoTbl.replace m.table key entry;
+            memo_evict m;
             result)
   end
 

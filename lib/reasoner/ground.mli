@@ -8,7 +8,7 @@
     [relation_base + mixed-radix tuple rank], sentences are compiled to
     slot-resolved form before quantifier expansion, and Tseitin clauses
     land in a flat [int] arena consumed by the solver as slices. A
-    bounded process-wide memo replays the compiled ground circuit of
+    bounded domain-local memo replays the compiled ground circuit of
     structurally identical (sentence, domain size) pairs across
     sessions. See DESIGN.md, "hot-path data layout". *)
 
@@ -86,7 +86,9 @@ val enumerate_projections : ?limit:int -> t -> int list -> bool list list
 
 (** {2 The cross-session circuit memo}
 
-    Completed groundings are memoized process-wide, keyed by
+    Completed groundings are memoized per domain (each worker domain
+    warms its own shared-nothing memo; {!set_memo_capacity} and
+    {!clear_memo} act on the calling domain only), keyed by
     (operation, domain size, compiled sentence), and replayed — clause
     slice appended, auxiliary variables shifted to fresh ones — when a
     structurally identical grounding recurs in any session. Replay
@@ -95,10 +97,13 @@ val enumerate_projections : ?limit:int -> t -> int list -> bool list list
     profile table as the [ground.memo_replay]/[ground.memo_expand]
     spans. *)
 
-(** Maximum number of memoized circuits (default 256; least recently
-    used evicted). [set_memo_capacity 0] disables and clears the
-    memo. *)
+(** Maximum number of memoized circuits on the calling domain (default
+    256; least recently used evicted). [set_memo_capacity 0] disables
+    and clears the memo. *)
 val set_memo_capacity : int -> unit
+
+(** The calling domain's memo capacity. *)
+val memo_capacity : unit -> int
 
 (** Drop every memoized circuit (for benchmarks and deterministic
     tests). *)

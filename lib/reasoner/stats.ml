@@ -38,9 +38,14 @@ let create () =
     solve_seconds = 0.0;
   }
 
-(* The process-wide record: every engine operation is mirrored here so
-   that a front end can report totals without holding every session. *)
-let global = create ()
+(* The default record, one per domain: every engine operation on that
+   domain is mirrored here so a front end can report totals without
+   holding every session. Domain-local (rather than one process-wide
+   record) because the counters are plain mutable ints — concurrent
+   workers would tear and lose updates; the corpus runner instead sums
+   per-item snapshots in submission order at join. *)
+let global_key = Domain.DLS.new_key create
+let global () = Domain.DLS.get global_key
 
 let reset t =
   t.groundings <- 0;
@@ -107,7 +112,7 @@ let to_json t =
 (* Publish a snapshot into a metrics registry under [prefix].<field>,
    with the same snake_case field names as the JSON schema. Absolute
    writes, so re-publication is idempotent. *)
-let publish ?(prefix = "reasoner") ?(into = Obs.Metrics.global) t =
+let publish ?(prefix = "reasoner") ?(into = Obs.Metrics.global ()) t =
   let count name v = Obs.Metrics.set_count into (prefix ^ "." ^ name) v in
   count "groundings" t.groundings;
   count "solves" t.solves;

@@ -21,8 +21,12 @@ type t = {
 
 val create : unit -> t
 
-(** The process-wide record; every engine operation is mirrored here. *)
-val global : t
+(** The calling domain's default record; every engine operation run on
+    that domain is mirrored here. Domain-local so parallel workers never
+    contend (or tear) on the counters — aggregate across workers by
+    summing per-item snapshots ({!add}) at join, as the corpus runner
+    does. *)
+val global : unit -> t
 
 val reset : t -> unit
 val copy : t -> t

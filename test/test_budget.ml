@@ -93,7 +93,7 @@ let test_inject_timeout_reason () =
 
 let test_expired_deadline () =
   Reasoner.Engine.clear_cache ();
-  let trips0 = Reasoner.Stats.global.Reasoner.Stats.budget_timeouts in
+  let trips0 = (Reasoner.Stats.global ()).Reasoner.Stats.budget_timeouts in
   (match eval (Budget.create ~timeout:0.0 ()) with
   | `Timeout p ->
       check Alcotest.bool "nothing certified under a dead deadline" true
@@ -101,17 +101,17 @@ let test_expired_deadline () =
   | `Ok _ -> Alcotest.fail "a 0-second deadline must trip"
   | `Out_of_fuel _ -> Alcotest.fail "deadline trips are Timeout");
   check Alcotest.bool "timeout trip counted in stats" true
-    (Reasoner.Stats.global.Reasoner.Stats.budget_timeouts > trips0)
+    ((Reasoner.Stats.global ()).Reasoner.Stats.budget_timeouts > trips0)
 
 let test_fuel_exhaustion () =
   Reasoner.Engine.clear_cache ();
-  let trips0 = Reasoner.Stats.global.Reasoner.Stats.budget_fuel_trips in
+  let trips0 = (Reasoner.Stats.global ()).Reasoner.Stats.budget_fuel_trips in
   (match eval (Budget.create ~fuel:1 ()) with
   | `Out_of_fuel _ -> ()
   | `Ok _ -> Alcotest.fail "1 unit of fuel must not complete the eval"
   | `Timeout _ -> Alcotest.fail "fuel trips are Out_of_fuel");
   check Alcotest.bool "fuel trip counted in stats" true
-    (Reasoner.Stats.global.Reasoner.Stats.budget_fuel_trips > trips0)
+    ((Reasoner.Stats.global ()).Reasoner.Stats.budget_fuel_trips > trips0)
 
 let test_clause_cap () =
   Reasoner.Engine.clear_cache ();

@@ -49,26 +49,26 @@ let test_engine_vs_bounded =
 let test_cache_accounting () =
   let d = inst [ ("A", [ "a" ]); ("R", [ "a"; "b" ]) ] in
   Reasoner.Engine.clear_cache ();
-  Reasoner.Stats.reset Reasoner.Stats.global;
+  Reasoner.Stats.reset (Reasoner.Stats.global ());
   let eng = Reasoner.Engine.session ~extra:1 o_horn d in
-  check_int "first lookup misses" 1 Reasoner.Stats.global.cache_misses;
-  check_int "no hit yet" 0 Reasoner.Stats.global.cache_hits;
-  check_int "one grounding" 1 Reasoner.Stats.global.groundings;
+  check_int "first lookup misses" 1 (Reasoner.Stats.global ()).cache_misses;
+  check_int "no hit yet" 0 (Reasoner.Stats.global ()).cache_hits;
+  check_int "one grounding" 1 (Reasoner.Stats.global ()).groundings;
   let eng' = Reasoner.Engine.session ~extra:1 o_horn d in
   check "second lookup returns the same engine" true (eng == eng');
-  check_int "second lookup hits" 1 Reasoner.Stats.global.cache_hits;
-  check_int "still one grounding" 1 Reasoner.Stats.global.groundings;
+  check_int "second lookup hits" 1 (Reasoner.Stats.global ()).cache_hits;
+  check_int "still one grounding" 1 (Reasoner.Stats.global ()).groundings;
   (* a different bound is a different session *)
   let _ = Reasoner.Engine.session ~extra:0 o_horn d in
-  check_int "new bound misses" 2 Reasoner.Stats.global.cache_misses;
+  check_int "new bound misses" 2 (Reasoner.Stats.global ()).cache_misses;
   check_int "two cached sessions" 2 (Reasoner.Engine.cached_sessions ());
   (* many tuple checks, still one grounding per session *)
   List.iter
     (fun el -> ignore (Reasoner.Engine.certain_cq eng qc [ el ]))
     (Structure.Instance.domain_list d);
   check_int "tuple checks reuse the grounding" 2
-    Reasoner.Stats.global.groundings;
-  check "solver was invoked" true (Reasoner.Stats.global.solves > 0)
+    (Reasoner.Stats.global ()).groundings;
+  check "solver was invoked" true ((Reasoner.Stats.global ()).solves > 0)
 
 (* 3. The LRU cache evicts beyond its capacity. *)
 let test_cache_eviction () =

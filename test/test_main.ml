@@ -20,5 +20,6 @@ let () =
       ("bioportal", Test_bioportal.suite);
       ("omq", Test_omq.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
     ]
