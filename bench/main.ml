@@ -213,6 +213,110 @@ let parallel_corpus_table () =
           Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".speedup") speedup)
         [ 1; 2; 4 ]
 
+let serve_table () =
+  section "Serve daemon: closed-loop load, 4 clients x 60 evals";
+  (* The daemon runs on a POSIX thread of this process (its worker
+     domains are its own); clients are real Unix-socket connections
+     driven by Omqd.Loadgen. Every response is compared byte for byte
+     against the sequential evaluation's rendering — the bench doubles
+     as the proof that serving does not change answers. *)
+  let module P = Omq.Protocol in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match (read_file "data/hand.dl", read_file "data/hand_instance.txt") with
+  | exception Sys_error m ->
+      Fmt.pr "skipped: %s (run from the repository root)@." m
+  | onto, data -> (
+      let query = "q(x) <- Hand(x)" in
+      let expected =
+        let tbox = Dl.Parser.parse_tbox onto in
+        let d = Structure.Parse.instance_of_string data in
+        let q = Query.Parse.ucq_of_string query in
+        let session = Omq.open_session ~max_extra:2 (Omq.of_tbox tbox q) d in
+        let answers = Omq.Session.certain_answers session in
+        P.render_response
+          (P.Evaled
+             {
+               result =
+                 {
+                   P.consistent = true;
+                   boolean = false;
+                   tuples =
+                     List.map
+                       (List.map (fun e ->
+                            Fmt.str "%a" Structure.Element.pp e))
+                       answers;
+                 };
+               stats = None;
+             })
+      in
+      let clients = 4 and queries = 60 and jobs = 4 in
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "omq-bench-%d.sock" (Unix.getpid ()))
+      in
+      let addr = Omqd.Daemon.Unix_path path in
+      let cfg =
+        {
+          Omqd.Daemon.addr;
+          jobs;
+          caps = P.no_budget;
+          max_frame = Omqd.Daemon.default_max_frame;
+          trace = None;
+          log = false;
+        }
+      in
+      let daemon = ref (Ok ()) in
+      let th = Thread.create (fun () -> daemon := Omqd.Daemon.run cfg) () in
+      let spec =
+        {
+          Omqd.Loadgen.open_req =
+            P.Open_session { ontology = onto; data; query; max_extra = 2 };
+          make_eval =
+            (fun ~session ->
+              P.Eval { session; budget = P.no_budget; want_stats = false });
+          expected = Some expected;
+        }
+      in
+      let outcome =
+        Omqd.Loadgen.run addr (List.init clients (fun _ -> spec)) ~queries
+      in
+      (match Omqd.Client.connect ~attempts:1 addr with
+      | Error _ -> ()
+      | Ok c ->
+          ignore (Omqd.Client.call c P.Shutdown);
+          Omqd.Client.close c);
+      Thread.join th;
+      (match !daemon with
+      | Ok () -> ()
+      | Error m -> Fmt.pr "daemon exited with error: %s@." m);
+      match outcome with
+      | Error m -> Fmt.pr "load generator failed: %s@." m
+      | Ok s ->
+          Fmt.pr "%a@." Omqd.Loadgen.pp_summary s;
+          let m = Obs.Metrics.global () in
+          Obs.Metrics.set_count m "bench.serve.clients" s.Omqd.Loadgen.clients;
+          Obs.Metrics.set_count m "bench.serve.queries_per_client"
+            s.Omqd.Loadgen.queries_per_client;
+          Obs.Metrics.set_count m "bench.serve.jobs" jobs;
+          Obs.Metrics.set_count m "bench.serve.total" s.Omqd.Loadgen.total;
+          Obs.Metrics.set_count m "bench.serve.ok" s.Omqd.Loadgen.ok;
+          Obs.Metrics.set_count m "bench.serve.mismatches"
+            s.Omqd.Loadgen.mismatches;
+          Obs.Metrics.set m "bench.serve.seconds" s.Omqd.Loadgen.seconds;
+          Obs.Metrics.set m "bench.serve.throughput_rps"
+            s.Omqd.Loadgen.throughput_rps;
+          Obs.Metrics.set m "bench.serve.mean_ms" s.Omqd.Loadgen.mean_ms;
+          Obs.Metrics.set m "bench.serve.p50_ms" s.Omqd.Loadgen.p50_ms;
+          Obs.Metrics.set m "bench.serve.p95_ms" s.Omqd.Loadgen.p95_ms;
+          Obs.Metrics.set m "bench.serve.p99_ms" s.Omqd.Loadgen.p99_ms;
+          Obs.Metrics.set m "bench.serve.max_ms" s.Omqd.Loadgen.max_ms)
+
 let thm5_table () =
   section "Theorem 5: the type-based Datalog!= evaluation vs certain answers";
   Fmt.pr "%-8s %-10s %-10s %-12s %-12s@." "chain" "rewriting" "certain" "t_rewrite" "t_certain";
@@ -416,6 +520,15 @@ let run_benchmarks () =
 
 (* Every metric the tables and micro-benchmarks recorded, as one flat
    JSON object keyed by metric name. *)
+(* Machine context for the committed baseline: how many cores the run
+   had and which job counts the parallel tables used, so a reviewer can
+   judge the speedup/throughput numbers. *)
+let meta_metrics () =
+  let m = Obs.Metrics.global () in
+  Obs.Metrics.set_count m "bench.meta.cores_used" (Parallel.Pool.default_jobs ());
+  Obs.Metrics.set_count m "bench.meta.corpus_jobs_max" 4;
+  Obs.Metrics.set_count m "bench.meta.serve_jobs" 4
+
 let write_metrics path =
   let oc = open_out path in
   output_string oc (Obs.Metrics.to_json (Obs.Metrics.global ()));
@@ -431,6 +544,7 @@ let () =
        committed full-run baseline is never clobbered. *)
     engine_table ();
     parallel_corpus_table ();
+    meta_metrics ();
     Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_smoke.json"
   end
@@ -441,6 +555,7 @@ let () =
     example1_table ();
     engine_table ();
     parallel_corpus_table ();
+    serve_table ();
     thm5_table ();
     thm8_table ();
     thm10_table ();
@@ -448,6 +563,7 @@ let () =
     thm3_table ();
     unravel_table ();
     run_benchmarks ();
+    meta_metrics ();
     Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_omq.json"
   end;

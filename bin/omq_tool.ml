@@ -5,9 +5,17 @@
      omq_tool fig1 [--json]
      omq_tool corpus --seed 2017 -n 411
      omq_tool decide ONTOLOGY.dl [--json]
-*)
+     omq_tool serve --socket omq.sock --jobs 4
+     omq_tool request --socket omq.sock '{"v":1,"op":"stats"}'
+
+   Every command takes the same resource/observability flag spec
+   ([common] below); --json output of classify/eval/decide renders
+   through Omq.Protocol, so a one-shot CLI answer is byte-compatible
+   with the serve daemon's response for the same work (the daemon adds
+   only the echoed request id). *)
 
 open Cmdliner
+module P = Omq.Protocol
 
 (* ------------------------------------------------------------------ *)
 (* Input loading: every parser in the tool reports errors the same way,
@@ -51,7 +59,8 @@ let run_result f =
       1
 
 (* ------------------------------------------------------------------ *)
-(* Hand-rolled JSON (the toolchain ships no JSON library). *)
+(* Hand-rolled JSON for the commands with bespoke shapes (fig1, corpus);
+   classify/eval/decide render through Omq.Protocol instead. *)
 
 let json_string s =
   let b = Buffer.create (String.length s + 2) in
@@ -81,102 +90,170 @@ let json_obj fields =
 let json_list items = "[" ^ String.concat ", " items ^ "]"
 let json_bool b = if b then "true" else "false"
 
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ] ~doc:"Emit a machine-readable JSON object on stdout.")
-
 let status_name (s : Classify.Landscape.status) =
   Fmt.str "%a" Classify.Landscape.pp_status s
 
 let element_name e = Fmt.str "%a" Structure.Element.pp e
 
 (* ------------------------------------------------------------------ *)
-(* Resource budgets: --timeout / --fuel build a Reasoner.Budget that the
-   evaluation runs under. A tripped budget is not an error — the tool
-   prints a partial result and exits with a distinct code. Cmdliner's
-   default cli_error is also 124, so command-line misuse is remapped to
-   the conventional 2 to keep 124 = timed out unambiguous. *)
+(* Exit codes. A tripped budget is not an error — the tool prints a
+   partial result and exits with a distinct code. Cmdliner's default
+   cli_error is also 124, so command-line misuse is remapped to the
+   conventional 2 to keep 124 = timed out unambiguous. The table below
+   is advertised in every command's man page. *)
 
 let exit_timeout = 124
 let exit_fuel = 125
 let exit_cli_misuse = 2
+let exit_internal = 70
 
-let timeout_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "timeout" ] ~docv:"SECS"
-        ~doc:
-          "Wall-clock deadline in seconds. On expiry the tool reports the \
-           partial result computed so far and exits with code 124.")
-
-let fuel_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "fuel" ] ~docv:"N"
-        ~doc:
-          "Solver fuel: total propagations + conflicts allowed. On \
-           exhaustion the tool reports the partial result computed so far \
-           and exits with code 125.")
-
-let budget_of timeout fuel =
-  match (timeout, fuel) with
-  | None, None -> Reasoner.Budget.unlimited
-  | _ -> Reasoner.Budget.create ?timeout ?fuel ()
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on an input or runtime error (unreadable file, parse error).";
+    Cmd.Exit.info exit_cli_misuse ~doc:"on command-line misuse.";
+    Cmd.Exit.info exit_internal
+      ~doc:"on an internal error (uncaught exception).";
+    Cmd.Exit.info exit_timeout
+      ~doc:
+        "when the $(b,--timeout) budget tripped; the partial result \
+         computed so far was reported first.";
+    Cmd.Exit.info exit_fuel
+      ~doc:
+        "when the $(b,--fuel) or $(b,--max-clauses) budget tripped; the \
+         partial result computed so far was reported first.";
+  ]
 
 let reason_code = function
   | Reasoner.Budget.Timeout -> exit_timeout
   | Reasoner.Budget.Fuel -> exit_fuel
 
-let reason_name = function
-  | Reasoner.Budget.Timeout -> "timeout"
-  | Reasoner.Budget.Fuel -> "out_of_fuel"
+let reason_name = P.reason_name
 
 (* ------------------------------------------------------------------ *)
-(* Tracing: --trace FILE installs an Obs collector for the duration of
-   the command and exports it in the requested format; --profile prints
-   a per-phase self/total table (to stderr, so --json stays clean on
+(* The shared flag spec: every command accepts the same resource-budget
+   and observability flags (serve reuses the budget flags as its
+   per-request admission caps). *)
+
+type common = {
+  json : bool;
+  timeout : float option;
+  fuel : int option;
+  max_clauses : int option;
+  trace : string option;
+  trace_format : Obs.Export.format;
+  profile : bool;
+}
+
+let common_term =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a machine-readable JSON object on stdout. For \
+             $(b,classify), $(b,eval) and $(b,decide) this is an \
+             Omq.Protocol response frame, byte-compatible with the serve \
+             daemon's.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline in seconds. On expiry the tool reports \
+             the partial result computed so far and exits with code 124. \
+             Under $(b,serve): per-request admission cap.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Solver fuel: total propagations + conflicts allowed. On \
+             exhaustion the tool reports the partial result computed so \
+             far and exits with code 125. Under $(b,serve): per-request \
+             admission cap.")
+  in
+  let clauses_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-clauses" ] ~docv:"N"
+          ~doc:
+            "Cap on emitted ground clauses; a tripped run reports \
+             out_of_fuel and exits with code 125. Under $(b,serve): \
+             per-request admission cap.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a trace of the run and write it to $(docv). The \
+             default format loads into chrome://tracing or \
+             ui.perfetto.dev; see $(b,--trace-format).")
+  in
+  let trace_format_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("chrome", Obs.Export.Chrome); ("jsonl", Obs.Export.Jsonl) ])
+          Obs.Export.Chrome
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "Trace file format: $(b,chrome) (trace-event JSON) or \
+             $(b,jsonl).")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a per-phase profile (span name, count, self and total \
+             seconds) on stderr after the command.")
+  in
+  let make json timeout fuel max_clauses trace trace_format profile =
+    { json; timeout; fuel; max_clauses; trace; trace_format; profile }
+  in
+  Term.(
+    const make $ json_arg $ timeout_arg $ fuel_arg $ clauses_arg $ trace_arg
+    $ trace_format_arg $ profile_arg)
+
+let budget_of (c : common) =
+  match (c.timeout, c.fuel, c.max_clauses) with
+  | None, None, None -> Reasoner.Budget.unlimited
+  | timeout, fuel, max_clauses ->
+      Reasoner.Budget.create ?timeout ?fuel ?max_clauses ()
+
+(* --trace FILE installs an Obs collector for the duration of the
+   command and exports it in the requested format; --profile prints a
+   per-phase self/total table (to stderr, so --json stays clean on
    stdout). Both work together and compose with budget trips: a tripped
    run exports a closed trace whose root span carries the reason. *)
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Record a trace of the run and write it to $(docv). The default \
-           format loads into chrome://tracing or ui.perfetto.dev; see \
-           $(b,--trace-format).")
-
-let trace_format_arg =
-  Arg.(
-    value
-    & opt (enum [ ("chrome", Obs.Export.Chrome); ("jsonl", Obs.Export.Jsonl) ])
-        Obs.Export.Chrome
-    & info [ "trace-format" ] ~docv:"FMT"
-        ~doc:"Trace file format: $(b,chrome) (trace-event JSON) or $(b,jsonl).")
-
-let profile_arg =
-  Arg.(
-    value & flag
-    & info [ "profile" ]
-        ~doc:
-          "Print a per-phase profile (span name, count, self and total \
-           seconds) on stderr after the command.")
-
-let with_tracing trace fmt profile f =
-  if trace = None && not profile then f ()
+let with_tracing (c : common) f =
+  if c.trace = None && not c.profile then f ()
   else begin
-    let r, c = Obs.Trace.collect f in
-    if profile then
-      Fmt.epr "%a@." Obs.Export.pp_profile (Obs.Export.profile c);
-    match Option.iter (fun path -> Obs.Export.to_file fmt c path) trace with
+    let r, col = Obs.Trace.collect f in
+    if c.profile then
+      Fmt.epr "%a@." Obs.Export.pp_profile (Obs.Export.profile col);
+    match Option.iter (fun path -> Obs.Export.to_file c.trace_format col path) c.trace with
     | () -> r
     | exception Sys_error m -> Error m
   end
+
+(* Stats cross into protocol frames as the Stats.to_json object,
+   re-parsed so the rendering is the daemon's. *)
+let stats_json st =
+  match P.Json.parse (Reasoner.Stats.to_json st) with
+  | Ok j -> j
+  | Error _ -> P.Json.Null
+
+let print_response resp = Fmt.pr "%s@." (P.render_response resp)
 
 (* ------------------------------------------------------------------ *)
 
@@ -187,27 +264,24 @@ let ontology_arg =
     & info [] ~docv:"ONTOLOGY" ~doc:"DL ontology file (one axiom per line).")
 
 let classify_cmd =
-  let run path json trace fmt profile =
+  let run path (c : common) =
     run_result @@ fun () ->
-    with_tracing trace fmt profile @@ fun () ->
+    with_tracing c @@ fun () ->
     let* tbox = load_tbox path in
     let o = Dl.Translate.tbox tbox in
     let fragment = Gf.Fragment.of_ontology o in
     let ev = Classify.Landscape.of_tbox tbox in
-    if json then
-      Fmt.pr "%s@."
-        (json_obj
-           [
-             ("dl_name", json_string (Dl.Tbox.name tbox));
-             ("depth", string_of_int (Dl.Tbox.depth tbox));
-             ( "fragment",
-               match fragment with
-               | Some d -> json_string (Gf.Fragment.name d)
-               | None -> "null" );
-             ("status", json_string (status_name ev.Classify.Landscape.status));
-             ("evidence_fragment", json_string ev.Classify.Landscape.fragment);
-             ("source", json_string ev.Classify.Landscape.source);
-           ])
+    if c.json then
+      print_response
+        (P.Classified
+           {
+             dl_name = Dl.Tbox.name tbox;
+             depth = Dl.Tbox.depth tbox;
+             fragment = Option.map Gf.Fragment.name fragment;
+             status = status_name ev.Classify.Landscape.status;
+             evidence_fragment = ev.Classify.Landscape.fragment;
+             source = ev.Classify.Landscape.source;
+           })
     else begin
       Fmt.pr "DL name:   %s (depth %d)@." (Dl.Tbox.name tbox)
         (Dl.Tbox.depth tbox);
@@ -219,10 +293,9 @@ let classify_cmd =
     Ok 0
   in
   Cmd.v
-    (Cmd.info "classify" ~doc:"Locate an ontology in the Figure 1 landscape.")
-    Term.(
-      const run $ ontology_arg $ json_arg $ trace_arg $ trace_format_arg
-      $ profile_arg)
+    (Cmd.info "classify" ~exits
+       ~doc:"Locate an ontology in the Figure 1 landscape.")
+    Term.(const run $ ontology_arg $ common_term)
 
 let eval_cmd =
   let data_arg =
@@ -238,7 +311,8 @@ let eval_cmd =
       & info [] ~docv:"QUERY" ~doc:"UCQ, e.g. 'q(x) <- Thumb(x)'.")
   in
   let bound_arg =
-    Arg.(value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
+    Arg.(
+      value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
   in
   let stats_arg =
     Arg.(
@@ -246,28 +320,20 @@ let eval_cmd =
       & info [ "stats" ]
           ~doc:"Report engine counters (groundings, solves, cache traffic).")
   in
-  let run path data query max_extra timeout fuel json stats trace fmt profile =
+  let run path data query max_extra stats (c : common) =
     run_result @@ fun () ->
-    with_tracing trace fmt profile @@ fun () ->
+    with_tracing c @@ fun () ->
     let* tbox = load_tbox path in
     let* d = load_instance data in
     let* q = load_query query in
     let omq = Omq.of_tbox tbox q in
     Reasoner.Stats.reset (Reasoner.Stats.global ());
-    let budget = budget_of timeout fuel in
+    let budget = budget_of c in
     let session = Omq.open_session ~max_extra omq d in
     let global = Reasoner.Stats.global () in
-    let json_answers answers =
-      json_list
-        (List.map
-           (fun t ->
-             json_list (List.map (fun e -> json_string (element_name e)) t))
-           answers)
-    in
-    let maybe_stats payload =
-      if stats then payload @ [ ("stats", Reasoner.Stats.to_json global) ]
-      else payload
-    in
+    let boolean = Query.Ucq.is_boolean q in
+    let names = List.map (List.map element_name) in
+    let proto_stats () = if stats then Some (stats_json global) else None in
     (* A tripped budget: report what was certified before exhaustion and
        where to resume, then exit with the reason's code. *)
     let partial reason (p : Omq.Session.partial_answers) =
@@ -276,20 +342,15 @@ let eval_cmd =
         | Seq.Nil -> None
         | Seq.Cons (t, _) -> Some t
       in
-      if json then
-        Fmt.pr "%s@."
-          (json_obj
-             (maybe_stats
-                [
-                  ("outcome", json_string (reason_name reason));
-                  ("certified", json_answers p.Omq.Session.certified);
-                  ( "resume_from",
-                    match next with
-                    | Some t ->
-                        json_list
-                          (List.map (fun e -> json_string (element_name e)) t)
-                    | None -> "null" );
-                ]))
+      if c.json then
+        print_response
+          (P.Partial
+             {
+               reason;
+               certified = names p.Omq.Session.certified;
+               resume_from = Option.map (List.map element_name) next;
+               stats = proto_stats ();
+             })
       else begin
         Fmt.pr "%a: partial result@." Reasoner.Budget.pp_reason reason;
         Fmt.pr "%d tuple(s) certified before exhaustion@."
@@ -309,32 +370,18 @@ let eval_cmd =
       Ok (reason_code reason)
     in
     let complete consistent answers =
-      if json then begin
-        let base =
-          [
-            ("outcome", json_string "ok");
-            ("consistent", json_bool consistent);
-            ("boolean", json_bool (Query.Ucq.is_boolean q));
-          ]
-        in
-        let payload =
-          if not consistent then base
-          else if Query.Ucq.is_boolean q then
-            base @ [ ("certain", json_bool (answers <> [])) ]
-          else
-            base
-            @ [
-                ("count", string_of_int (List.length answers));
-                ("answers", json_answers answers);
-              ]
-        in
-        Fmt.pr "%s@." (json_obj (maybe_stats payload))
-      end
+      if c.json then
+        print_response
+          (P.Evaled
+             {
+               result = { P.consistent; boolean; tuples = names answers };
+               stats = proto_stats ();
+             })
       else begin
         if not consistent then
           Fmt.pr
             "instance inconsistent with the ontology: every tuple is an answer@."
-        else if Query.Ucq.is_boolean q then Fmt.pr "certain: %b@." (answers <> [])
+        else if boolean then Fmt.pr "certain: %b@." (answers <> [])
         else begin
           Fmt.pr "%d certain answer(s)@." (List.length answers);
           List.iter
@@ -358,18 +405,23 @@ let eval_cmd =
         | `Out_of_fuel p -> partial Reasoner.Budget.Fuel p)
   in
   Cmd.v
-    (Cmd.info "eval"
+    (Cmd.info "eval" ~exits
        ~doc:
          "Certain answers of a UCQ over an instance w.r.t. an ontology. With \
-          $(b,--timeout) or $(b,--fuel) the evaluation degrades gracefully: \
-          a tripped budget prints the tuples certified so far plus a \
-          resumption hint and exits 124 (timeout) or 125 (fuel).")
+          $(b,--timeout), $(b,--fuel) or $(b,--max-clauses) the evaluation \
+          degrades gracefully: a tripped budget prints the tuples certified \
+          so far plus a resumption hint and exits 124 (timeout) or 125 \
+          (fuel/clauses).")
     Term.(
-      const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ timeout_arg
-      $ fuel_arg $ json_arg $ stats_arg $ trace_arg $ trace_format_arg
-      $ profile_arg)
+      const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ stats_arg
+      $ common_term)
 
 let fig1_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a machine-readable JSON array on stdout.")
+  in
   let run json =
     if json then
       Fmt.pr "%s@."
@@ -397,7 +449,7 @@ let fig1_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "fig1" ~doc:"Regenerate the Figure 1 landscape.")
+    (Cmd.info "fig1" ~exits ~doc:"Regenerate the Figure 1 landscape.")
     Term.(const run $ json_arg)
 
 let corpus_cmd =
@@ -450,16 +502,6 @@ let corpus_cmd =
       value & flag
       & info [ "stats" ]
           ~doc:"Report aggregated engine counters on stderr after the batch.")
-  in
-  let clauses_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "max-clauses" ] ~docv:"N"
-          ~doc:
-            "Per-item cap on emitted ground clauses; a tripped item reports \
-             out_of_fuel. Deterministic, so stdout stays identical across \
-             $(b,--jobs) counts.")
   in
   (* Stdout carries only schedule-independent data: per-item verdicts in
      submission order. Wall time, job count and engine counters vary run
@@ -593,10 +635,9 @@ let corpus_cmd =
                   (List.length e.answers))
         report.Omq.Corpus.results
   in
-  let run dir seed n jobs classify eval_q data max_extra timeout fuel
-      max_clauses json stats trace fmt profile =
+  let run dir seed n jobs classify eval_q data max_extra stats (c : common) =
     run_result @@ fun () ->
-    with_tracing trace fmt profile @@ fun () ->
+    with_tracing c @@ fun () ->
     let items () =
       match dir with
       | Some d -> Omq.Corpus.load_dir d
@@ -614,20 +655,21 @@ let corpus_cmd =
         let* d = load_instance data_path in
         let* items = items () in
         let report =
-          Omq.Corpus.run ?timeout ?fuel ?max_clauses ~jobs
+          Omq.Corpus.run ?timeout:c.timeout ?fuel:c.fuel
+            ?max_clauses:c.max_clauses ~jobs
             (Omq.Corpus.Eval { query = q; data = d; max_extra })
             items
         in
-        render_eval json q report;
+        render_eval c.json q report;
         summary stats report;
         Ok (exit_of report)
     | true, None | false, None when classify || dir <> None ->
         let* items = items () in
         let report =
-          Omq.Corpus.run ?timeout ?fuel ?max_clauses ~jobs Omq.Corpus.Classify
-            items
+          Omq.Corpus.run ?timeout:c.timeout ?fuel:c.fuel
+            ?max_clauses:c.max_clauses ~jobs Omq.Corpus.Classify items
         in
-        render_classify json report;
+        render_classify c.json report;
         summary stats report;
         Ok (exit_of report)
     | _ ->
@@ -648,7 +690,7 @@ let corpus_cmd =
         Ok 0
   in
   Cmd.v
-    (Cmd.info "corpus"
+    (Cmd.info "corpus" ~exits
        ~doc:
          "Batch-process a corpus of ontologies on $(b,--jobs) worker domains: \
           $(b,--classify) locates each in the Figure 1 landscape, $(b,--eval) \
@@ -658,55 +700,39 @@ let corpus_cmd =
           job count); timings and counters go to stderr.")
     Term.(
       const run $ dir_arg $ seed_arg $ n_arg $ jobs_arg $ classify_flag
-      $ eval_arg $ data_arg $ bound_arg $ timeout_arg $ fuel_arg $ clauses_arg
-      $ json_arg $ stats_arg $ trace_arg $ trace_format_arg $ profile_arg)
+      $ eval_arg $ data_arg $ bound_arg $ stats_arg $ common_term)
 
 let decide_cmd =
   let out_arg =
-    Arg.(value & opt int 5 & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
+    Arg.(
+      value & opt int 5
+      & info [ "max-outdegree" ] ~doc:"Bouquet outdegree bound.")
   in
-  let run path max_outdegree timeout fuel json trace fmt profile =
+  let run path max_outdegree (c : common) =
     run_result @@ fun () ->
-    with_tracing trace fmt profile @@ fun () ->
+    with_tracing c @@ fun () ->
     let* tbox = load_tbox path in
     let o = Dl.Translate.tbox tbox in
-    let budget = budget_of timeout fuel in
+    let budget = budget_of c in
     let report = function
       | Classify.Decide.Ptime_evidence n ->
-          if json then
-            Fmt.pr "%s@."
-              (json_obj
-                 [
-                   ("verdict", json_string "ptime");
-                   ("bouquets_checked", string_of_int n);
-                 ])
+          if c.json then print_response (P.Decided { verdict = `Ptime n })
           else Fmt.pr "PTIME query evaluation (evidence from %d bouquets)@." n;
           Ok 0
       | Classify.Decide.Conp_hard w ->
-          if json then
-            Fmt.pr "%s@."
-              (json_obj
-                 [
-                   ("verdict", json_string "conp_hard");
-                   ( "witness",
-                     json_string
-                       (String.concat " "
-                          (String.split_on_char '\n'
-                             (Fmt.str "%a" Structure.Instance.pp w))) );
-                 ])
+          let witness =
+            String.concat " "
+              (String.split_on_char '\n' (Fmt.str "%a" Structure.Instance.pp w))
+          in
+          if c.json then
+            print_response (P.Decided { verdict = `Conp_hard witness })
           else
             Fmt.pr "coNP-hard; non-materializable bouquet:@.%a@."
               Structure.Instance.pp w;
           Ok 0
     in
     let partial reason checked =
-      if json then
-        Fmt.pr "%s@."
-          (json_obj
-             [
-               ("verdict", json_string (reason_name reason));
-               ("bouquets_checked", string_of_int checked);
-             ])
+      if c.json then print_response (P.Decide_partial { reason; checked })
       else
         Fmt.pr "%a: %d bouquet(s) checked before exhaustion (all PTIME so far)@."
           Reasoner.Budget.pp_reason reason checked;
@@ -718,20 +744,165 @@ let decide_cmd =
     | `Out_of_fuel checked -> partial Reasoner.Budget.Fuel checked
   in
   Cmd.v
-    (Cmd.info "decide"
+    (Cmd.info "decide" ~exits
        ~doc:
          "Decide PTIME query evaluation by bouquet materializability \
-          (Theorem 13). With $(b,--timeout) or $(b,--fuel) a tripped budget \
-          reports the bouquets checked so far and exits 124 or 125.")
+          (Theorem 13). With $(b,--timeout), $(b,--fuel) or \
+          $(b,--max-clauses) a tripped budget reports the bouquets checked \
+          so far and exits 124 or 125.")
+    Term.(const run $ ontology_arg $ out_arg $ common_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve / request: the daemon and its scripting client. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix domain socket path (default $(b,omq.sock) when $(b,--port) \
+           is not given).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Host for $(b,--port).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port to use instead of a Unix socket.")
+
+let addr_of socket host port =
+  match (socket, port) with
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  | Some s, None -> Ok (Omqd.Daemon.Unix_path s)
+  | None, Some p -> Ok (Omqd.Daemon.Tcp (host, p))
+  | None, None -> Ok (Omqd.Daemon.Unix_path "omq.sock")
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Sessions are pinned to a worker at open \
+             (sticky routing), so one session's requests are always \
+             serialised on one domain.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Omqd.Daemon.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request frames longer than $(docv) with a typed \
+             frame_too_large error (the connection stays usable).")
+  in
+  let run socket host port jobs max_frame (c : common) =
+    run_result @@ fun () ->
+    let* addr = addr_of socket host port in
+    let cfg =
+      {
+        Omqd.Daemon.addr;
+        jobs;
+        caps =
+          {
+            P.timeout_s = c.timeout;
+            fuel = c.fuel;
+            max_clauses = c.max_clauses;
+          };
+        max_frame;
+        trace = Option.map (fun path -> (c.trace_format, path)) c.trace;
+        log = true;
+      }
+    in
+    let* () = Omqd.Daemon.run cfg in
+    Ok 0
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Serve the Omq.Protocol wire API (newline-delimited JSON frames) \
+          on a Unix or TCP socket until a shutdown request. Budget flags \
+          ($(b,--timeout)/$(b,--fuel)/$(b,--max-clauses)) become \
+          per-request admission caps: a request asking for more is clamped, \
+          a tripped budget degrades that one request to a typed partial \
+          response and the daemon keeps serving.")
     Term.(
-      const run $ ontology_arg $ out_arg $ timeout_arg $ fuel_arg $ json_arg
-      $ trace_arg $ trace_format_arg $ profile_arg)
+      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ max_frame_arg
+      $ common_term)
+
+let request_cmd =
+  let frames_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FRAME"
+          ~doc:
+            "Request frames to send, one JSON object per argument; when \
+             none is given, frames are read from stdin (one per line). \
+             Frames are sent verbatim — including malformed ones, which \
+             makes this the protocol's conformance probe.")
+  in
+  let run socket host port frames =
+    run_result @@ fun () ->
+    let* addr = addr_of socket host port in
+    let* client = Omqd.Client.connect addr in
+    let send line =
+      let* resp = Omqd.Client.raw client line in
+      Fmt.pr "%s@." resp;
+      Ok ()
+    in
+    let rec send_all = function
+      | [] -> Ok ()
+      | l :: ls ->
+          if String.trim l = "" then send_all ls
+          else
+            let* () = send l in
+            send_all ls
+    in
+    let result =
+      match frames with
+      | [] ->
+          let rec from_stdin () =
+            match input_line stdin with
+            | line ->
+                let* () = if String.trim line = "" then Ok () else send line in
+                from_stdin ()
+            | exception End_of_file -> Ok ()
+          in
+          from_stdin ()
+      | ls -> send_all ls
+    in
+    Omqd.Client.close client;
+    let* () = result in
+    Ok 0
+  in
+  Cmd.v
+    (Cmd.info "request" ~exits
+       ~doc:
+         "Send raw Omq.Protocol frames to a running $(b,serve) daemon and \
+          print each response line on stdout. Frames come from the command \
+          line or stdin and are sent verbatim, so malformed input exercises \
+          the server's typed error responses.")
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ frames_arg)
 
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in
   let cmd =
-    Cmd.group (Cmd.info "omq_tool" ~version:"1.0" ~doc)
-      [ classify_cmd; eval_cmd; fig1_cmd; corpus_cmd; decide_cmd ]
+    Cmd.group (Cmd.info "omq_tool" ~version:"1.0" ~doc ~exits)
+      [
+        classify_cmd;
+        eval_cmd;
+        fig1_cmd;
+        corpus_cmd;
+        decide_cmd;
+        serve_cmd;
+        request_cmd;
+      ]
   in
   (* Map exits ourselves: cmdliner's defaults (cli_error = 124,
      internal_error = 125) collide with the budget-trip codes. *)
@@ -740,4 +911,4 @@ let () =
     | Ok (`Ok code) -> code
     | Ok (`Version | `Help) -> 0
     | Error (`Parse | `Term) -> exit_cli_misuse
-    | Error `Exn -> 70)
+    | Error `Exn -> exit_internal)

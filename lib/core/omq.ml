@@ -12,6 +12,8 @@
    degrades to the tuples certified so far plus the undecided candidate
    stream as a resumption hint. *)
 
+module Protocol = Protocol
+
 type t = {
   ontology : Logic.Ontology.t;
   query : Query.Ucq.t;

@@ -15,6 +15,10 @@
     before exhaustion plus the undecided candidate stream as a
     resumption hint. *)
 
+(** The versioned typed wire schema shared by the serve daemon, the
+    blocking client and [omq_tool]'s one-shot [--json] output. *)
+module Protocol = Protocol
+
 type t = {
   ontology : Logic.Ontology.t;
   query : Query.Ucq.t;

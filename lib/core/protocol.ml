@@ -1,0 +1,786 @@
+(* The versioned wire schema shared by the serve daemon, the blocking
+   client and omq_tool's one-shot --json output. See protocol.mli for
+   the format; the invariant that matters here is determinism: rendering
+   is a fixed member order, so equal values produce equal bytes and a
+   CLI evaluation is byte-compatible with a server response. *)
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* JSON values and the parser                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let rec render = function
+    | Null -> "null"
+    | Bool true -> "true"
+    | Bool false -> "false"
+    | Num f -> Obs.Json.number f
+    | Str s -> Obs.Json.escape s
+    | Arr xs -> "[" ^ String.concat "," (List.map render xs) ^ "]"
+    | Obj ms ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Obs.Json.escape k ^ ":" ^ render v) ms)
+        ^ "}"
+
+  let member name = function Obj ms -> List.assoc_opt name ms | _ -> None
+
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool x, Bool y -> Bool.equal x y
+    | Num x, Num y -> Float.equal x y
+    | Str x, Str y -> String.equal x y
+    | Arr x, Arr y -> List.equal equal x y
+    | Obj x, Obj y ->
+        List.equal
+          (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+          x y
+    | _ -> false
+
+  (* A total recursive-descent parser over the raw string. Depth is
+     bounded so a hostile frame cannot overflow the stack. *)
+
+  exception Bad of int * string
+
+  let max_depth = 512
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected '%s'" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char b '"'; advance ()
+                 | '\\' -> Buffer.add_char b '\\'; advance ()
+                 | '/' -> Buffer.add_char b '/'; advance ()
+                 | 'b' -> Buffer.add_char b '\b'; advance ()
+                 | 'f' -> Buffer.add_char b '\012'; advance ()
+                 | 'n' -> Buffer.add_char b '\n'; advance ()
+                 | 'r' -> Buffer.add_char b '\r'; advance ()
+                 | 't' -> Buffer.add_char b '\t'; advance ()
+                 | 'u' ->
+                     advance ();
+                     if !pos + 4 > n then fail "truncated \\u escape";
+                     let hex = String.sub s !pos 4 in
+                     let code =
+                       match int_of_string_opt ("0x" ^ hex) with
+                       | Some c -> c
+                       | None -> fail "invalid \\u escape"
+                     in
+                     pos := !pos + 4;
+                     (* encode the code point as UTF-8 (surrogates are
+                        kept as-is bytes of their replacement) *)
+                     if code < 0x80 then Buffer.add_char b (Char.chr code)
+                     else if code < 0x800 then begin
+                       Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                     end
+                     else begin
+                       Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                       Buffer.add_char b
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                     end
+                 | c -> fail (Printf.sprintf "invalid escape '\\%c'" c));
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let consume p =
+        while !pos < n && p s.[!pos] do
+          advance ()
+        done
+      in
+      if peek () = Some '-' then advance ();
+      consume (function '0' .. '9' -> true | _ -> false);
+      if peek () = Some '.' then begin
+        advance ();
+        consume (function '0' .. '9' -> true | _ -> false)
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with
+          | Some ('+' | '-') -> advance ()
+          | _ -> ());
+          consume (function '0' .. '9' -> true | _ -> false)
+      | _ -> ());
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "invalid number"
+    in
+    let rec parse_value depth =
+      if depth > max_depth then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let items = ref [ parse_value (depth + 1) ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              advance ();
+              items := parse_value (depth + 1) :: !items;
+              skip_ws ()
+            done;
+            expect ']';
+            Arr (List.rev !items)
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let entry () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value (depth + 1) in
+              (k, v)
+            in
+            let items = ref [ entry () ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              advance ();
+              items := entry () :: !items;
+              skip_ws ()
+            done;
+            expect '}';
+            Obj (List.rev !items)
+          end
+      | Some ('-' | '0' .. '9') -> Num (parse_number ())
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) ->
+        Error (Printf.sprintf "offset %d: %s" at msg)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Schema types                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type budget_spec = {
+  timeout_s : float option;
+  fuel : int option;
+  max_clauses : int option;
+}
+
+let no_budget = { timeout_s = None; fuel = None; max_clauses = None }
+
+type request =
+  | Open_session of {
+      ontology : string;
+      data : string;
+      query : string;
+      max_extra : int;
+    }
+  | Close_session of { session : int }
+  | Eval of { session : int; budget : budget_spec; want_stats : bool }
+  | Classify of { ontology : string }
+  | Insert_facts of { session : int; facts : string }
+  | Stats
+  | Shutdown
+
+type classification = {
+  dl_name : string;
+  depth : int;
+  fragment : string option;
+  status : string;
+  evidence_fragment : string;
+  source : string;
+}
+
+type answers = {
+  consistent : bool;
+  boolean : bool;
+  tuples : string list list;
+}
+
+type error_kind =
+  | Bad_frame
+  | Bad_version
+  | Bad_request
+  | Unknown_session
+  | Frame_too_large
+  | Shutting_down
+  | Internal
+
+let error_kind_name = function
+  | Bad_frame -> "bad_frame"
+  | Bad_version -> "bad_version"
+  | Bad_request -> "bad_request"
+  | Unknown_session -> "unknown_session"
+  | Frame_too_large -> "frame_too_large"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_kind_of_name = function
+  | "bad_frame" -> Some Bad_frame
+  | "bad_version" -> Some Bad_version
+  | "bad_request" -> Some Bad_request
+  | "unknown_session" -> Some Unknown_session
+  | "frame_too_large" -> Some Frame_too_large
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response =
+  | Opened of { session : int }
+  | Closed of { session : int }
+  | Evaled of { result : answers; stats : Json.t option }
+  | Partial of {
+      reason : Reasoner.Budget.reason;
+      certified : string list list;
+      resume_from : string list option;
+      stats : Json.t option;
+    }
+  | Classified of classification
+  | Decided of { verdict : [ `Ptime of int | `Conp_hard of string ] }
+  | Decide_partial of { reason : Reasoner.Budget.reason; checked : int }
+  | Inserted of { session : int; total_facts : int }
+  | Server_stats of {
+      uptime_s : float;
+      sessions : int;
+      served : int;
+      errors : int;
+      reasoner : Json.t;
+    }
+  | Shutdown_ack
+  | Rejected of { kind : error_kind; message : string }
+
+let reason_name = function
+  | Reasoner.Budget.Timeout -> "timeout"
+  | Reasoner.Budget.Fuel -> "out_of_fuel"
+
+let reason_of_name = function
+  | "timeout" -> Some Reasoner.Budget.Timeout
+  | "out_of_fuel" -> Some Reasoner.Budget.Fuel
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let jint i = Json.Num (float_of_int i)
+let jstr s = Json.Str s
+let jtuples ts = Json.Arr (List.map (fun t -> Json.Arr (List.map jstr t)) ts)
+
+let envelope ?id fields =
+  Json.Obj
+    ((("v", jint version)
+     :: (match id with Some i -> [ ("id", jint i) ] | None -> []))
+    @ fields)
+
+let budget_fields { timeout_s; fuel; max_clauses } =
+  (match timeout_s with Some t -> [ ("timeout", Json.Num t) ] | None -> [])
+  @ (match fuel with Some f -> [ ("fuel", jint f) ] | None -> [])
+  @ match max_clauses with Some c -> [ ("max_clauses", jint c) ] | None -> []
+
+let request_to_json ?id req =
+  envelope ?id
+    (match req with
+    | Open_session { ontology; data; query; max_extra } ->
+        [
+          ("op", jstr "open_session");
+          ("ontology", jstr ontology);
+          ("data", jstr data);
+          ("query", jstr query);
+          ("max_extra", jint max_extra);
+        ]
+    | Close_session { session } ->
+        [ ("op", jstr "close_session"); ("session", jint session) ]
+    | Eval { session; budget; want_stats } ->
+        [ ("op", jstr "eval"); ("session", jint session) ]
+        @ budget_fields budget
+        @ if want_stats then [ ("stats", Json.Bool true) ] else []
+    | Classify { ontology } ->
+        [ ("op", jstr "classify"); ("ontology", jstr ontology) ]
+    | Insert_facts { session; facts } ->
+        [
+          ("op", jstr "insert_facts");
+          ("session", jint session);
+          ("facts", jstr facts);
+        ]
+    | Stats -> [ ("op", jstr "stats") ]
+    | Shutdown -> [ ("op", jstr "shutdown") ])
+
+let stats_field = function
+  | Some s -> [ ("stats", (s : Json.t)) ]
+  | None -> []
+
+let response_to_json ?id resp =
+  let typed t outcome fields =
+    envelope ?id (("type", jstr t) :: ("outcome", jstr outcome) :: fields)
+  in
+  match resp with
+  | Opened { session } -> typed "open_session" "ok" [ ("session", jint session) ]
+  | Closed { session } -> typed "close_session" "ok" [ ("session", jint session) ]
+  | Evaled { result = { consistent; boolean; tuples }; stats } ->
+      typed "eval" "ok"
+        ([ ("consistent", Json.Bool consistent); ("boolean", Json.Bool boolean) ]
+        @ (if not consistent then []
+           else if boolean then [ ("certain", Json.Bool (tuples <> [])) ]
+           else
+             [
+               ("count", jint (List.length tuples)); ("answers", jtuples tuples);
+             ])
+        @ stats_field stats)
+  | Partial { reason; certified; resume_from; stats } ->
+      typed "eval" (reason_name reason)
+        ([
+           ("certified", jtuples certified);
+           ( "resume_from",
+             match resume_from with
+             | Some t -> Json.Arr (List.map jstr t)
+             | None -> Json.Null );
+         ]
+        @ stats_field stats)
+  | Classified { dl_name; depth; fragment; status; evidence_fragment; source }
+    ->
+      typed "classify" "ok"
+        [
+          ("dl_name", jstr dl_name);
+          ("depth", jint depth);
+          ( "fragment",
+            match fragment with Some f -> jstr f | None -> Json.Null );
+          ("status", jstr status);
+          ("evidence_fragment", jstr evidence_fragment);
+          ("source", jstr source);
+        ]
+  | Decided { verdict = `Ptime n } ->
+      typed "decide" "ok"
+        [ ("verdict", jstr "ptime"); ("bouquets_checked", jint n) ]
+  | Decided { verdict = `Conp_hard w } ->
+      typed "decide" "ok" [ ("verdict", jstr "conp_hard"); ("witness", jstr w) ]
+  | Decide_partial { reason; checked } ->
+      typed "decide" (reason_name reason) [ ("bouquets_checked", jint checked) ]
+  | Inserted { session; total_facts } ->
+      typed "insert_facts" "ok"
+        [ ("session", jint session); ("total_facts", jint total_facts) ]
+  | Server_stats { uptime_s; sessions; served; errors; reasoner } ->
+      typed "stats" "ok"
+        [
+          ("uptime_s", Json.Num uptime_s);
+          ("sessions", jint sessions);
+          ("served", jint served);
+          ("errors", jint errors);
+          ("reasoner", reasoner);
+        ]
+  | Shutdown_ack -> typed "shutdown" "ok" []
+  | Rejected { kind; message } ->
+      typed "error" "error"
+        [ ("error", jstr (error_kind_name kind)); ("message", jstr message) ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a decoded = (int option * 'a, int option * (error_kind * string)) result
+
+let as_exact_int = function
+  | Json.Num f when Float.is_integer f && Float.abs f < 1e15 ->
+      Some (int_of_float f)
+  | _ -> None
+
+(* Field accessors over an association list; errors are typed
+   [Bad_request] with the offending field named. *)
+
+let field ms name = List.assoc_opt name ms
+
+let req_int ms name =
+  match field ms name with
+  | Some v -> (
+      match as_exact_int v with
+      | Some i -> Ok i
+      | None -> Error (Bad_request, name ^ " must be an integer"))
+  | None -> Error (Bad_request, "missing field " ^ name)
+
+let req_str ms name =
+  match field ms name with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Bad_request, name ^ " must be a string")
+  | None -> Error (Bad_request, "missing field " ^ name)
+
+let opt_or ms name default conv =
+  match field ms name with
+  | None | Some Json.Null -> Ok default
+  | Some v -> conv v
+
+let opt_int ms name =
+  opt_or ms name None (fun v ->
+      match as_exact_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Bad_request, name ^ " must be an integer"))
+
+let opt_num ms name =
+  opt_or ms name None (function
+    | Json.Num f -> Ok (Some f)
+    | _ -> Error (Bad_request, name ^ " must be a number"))
+
+let opt_bool ms name default =
+  opt_or ms name default (function
+    | Json.Bool b -> Ok b
+    | _ -> Error (Bad_request, name ^ " must be a boolean"))
+
+let opt_str ms name default =
+  opt_or ms name default (function
+    | Json.Str s -> Ok s
+    | _ -> Error (Bad_request, name ^ " must be a string"))
+
+let as_tuple name = function
+  | Json.Arr items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Str s :: rest -> go (s :: acc) rest
+        | _ -> Error (Bad_request, name ^ " must hold strings")
+      in
+      go [] items
+  | _ -> Error (Bad_request, name ^ " must be an array")
+
+let as_tuples name = function
+  | Json.Arr items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match as_tuple name item with
+            | Ok t -> go (t :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] items
+  | _ -> Error (Bad_request, name ^ " must be an array")
+
+let frame_id ms =
+  match field ms "id" with Some v -> as_exact_int v | None -> None
+
+let check_version ms =
+  match field ms "v" with
+  | Some v -> (
+      match as_exact_int v with
+      | Some n when n = version -> Ok ()
+      | Some n ->
+          Error
+            ( Bad_version,
+              Printf.sprintf "unsupported protocol version %d (this build speaks %d)"
+                n version )
+      | None -> Error (Bad_version, "v must be an integer"))
+  | None -> Error (Bad_version, "missing protocol version field v")
+
+let with_frame json decode =
+  match json with
+  | Json.Obj ms -> (
+      let id = frame_id ms in
+      match check_version ms with
+      | Error e -> Error (id, e)
+      | Ok () -> (
+          match decode ms with
+          | Ok v -> Ok (id, v)
+          | Error e -> Error (id, e)))
+  | _ -> Error (None, (Bad_frame, "frame is not a JSON object"))
+
+let ( let* ) = Result.bind
+
+let request_of_json json =
+  with_frame json @@ fun ms ->
+  let* op = req_str ms "op" in
+  match op with
+  | "open_session" ->
+      let* ontology = req_str ms "ontology" in
+      let* data = opt_str ms "data" "" in
+      let* query = req_str ms "query" in
+      let* max_extra =
+        match opt_int ms "max_extra" with
+        | Ok None -> Ok 2
+        | Ok (Some n) when n >= 0 -> Ok n
+        | Ok (Some _) -> Error (Bad_request, "max_extra must be >= 0")
+        | Error e -> Error e
+      in
+      Ok (Open_session { ontology; data; query; max_extra })
+  | "close_session" ->
+      let* session = req_int ms "session" in
+      Ok (Close_session { session })
+  | "eval" ->
+      let* session = req_int ms "session" in
+      let* timeout_s = opt_num ms "timeout" in
+      let* fuel = opt_int ms "fuel" in
+      let* max_clauses = opt_int ms "max_clauses" in
+      let* want_stats = opt_bool ms "stats" false in
+      Ok
+        (Eval
+           { session; budget = { timeout_s; fuel; max_clauses }; want_stats })
+  | "classify" ->
+      let* ontology = req_str ms "ontology" in
+      Ok (Classify { ontology })
+  | "insert_facts" ->
+      let* session = req_int ms "session" in
+      let* facts = req_str ms "facts" in
+      Ok (Insert_facts { session; facts })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Bad_request, "unknown op " ^ op)
+
+let response_of_json json =
+  with_frame json @@ fun ms ->
+  let* ty = req_str ms "type" in
+  let* outcome = req_str ms "outcome" in
+  let stats = field ms "stats" in
+  match (ty, outcome) with
+  | "open_session", "ok" ->
+      let* session = req_int ms "session" in
+      Ok (Opened { session })
+  | "close_session", "ok" ->
+      let* session = req_int ms "session" in
+      Ok (Closed { session })
+  | "eval", "ok" ->
+      let* consistent =
+        match field ms "consistent" with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error (Bad_request, "missing field consistent")
+      in
+      let* boolean =
+        match field ms "boolean" with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error (Bad_request, "missing field boolean")
+      in
+      let* tuples =
+        if not consistent then Ok []
+        else if boolean then
+          let* certain = opt_bool ms "certain" false in
+          Ok (if certain then [ [] ] else [])
+        else
+          match field ms "answers" with
+          | Some v -> as_tuples "answers" v
+          | None -> Error (Bad_request, "missing field answers")
+      in
+      Ok (Evaled { result = { consistent; boolean; tuples }; stats })
+  | "eval", outcome -> (
+      match reason_of_name outcome with
+      | None -> Error (Bad_request, "unknown outcome " ^ outcome)
+      | Some reason ->
+          let* certified =
+            match field ms "certified" with
+            | Some v -> as_tuples "certified" v
+            | None -> Error (Bad_request, "missing field certified")
+          in
+          let* resume_from =
+            match field ms "resume_from" with
+            | None | Some Json.Null -> Ok None
+            | Some v ->
+                let* t = as_tuple "resume_from" v in
+                Ok (Some t)
+          in
+          Ok (Partial { reason; certified; resume_from; stats }))
+  | "classify", "ok" ->
+      let* dl_name = req_str ms "dl_name" in
+      let* depth = req_int ms "depth" in
+      let* fragment =
+        match field ms "fragment" with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Str s) -> Ok (Some s)
+        | Some _ -> Error (Bad_request, "fragment must be a string or null")
+      in
+      let* status = req_str ms "status" in
+      let* evidence_fragment = req_str ms "evidence_fragment" in
+      let* source = req_str ms "source" in
+      Ok
+        (Classified
+           { dl_name; depth; fragment; status; evidence_fragment; source })
+  | "decide", "ok" -> (
+      let* verdict = req_str ms "verdict" in
+      match verdict with
+      | "ptime" ->
+          let* n = req_int ms "bouquets_checked" in
+          Ok (Decided { verdict = `Ptime n })
+      | "conp_hard" ->
+          let* w = req_str ms "witness" in
+          Ok (Decided { verdict = `Conp_hard w })
+      | v -> Error (Bad_request, "unknown verdict " ^ v))
+  | "decide", outcome -> (
+      match reason_of_name outcome with
+      | None -> Error (Bad_request, "unknown outcome " ^ outcome)
+      | Some reason ->
+          let* checked = req_int ms "bouquets_checked" in
+          Ok (Decide_partial { reason; checked }))
+  | "insert_facts", "ok" ->
+      let* session = req_int ms "session" in
+      let* total_facts = req_int ms "total_facts" in
+      Ok (Inserted { session; total_facts })
+  | "stats", "ok" ->
+      let* uptime_s =
+        match opt_num ms "uptime_s" with
+        | Ok (Some f) -> Ok f
+        | Ok None -> Error (Bad_request, "missing field uptime_s")
+        | Error e -> Error e
+      in
+      let* sessions = req_int ms "sessions" in
+      let* served = req_int ms "served" in
+      let* errors = req_int ms "errors" in
+      let reasoner = Option.value ~default:Json.Null (field ms "reasoner") in
+      Ok (Server_stats { uptime_s; sessions; served; errors; reasoner })
+  | "shutdown", "ok" -> Ok Shutdown_ack
+  | "error", _ ->
+      let* kind_name = req_str ms "error" in
+      let* message = opt_str ms "message" "" in
+      let kind =
+        Option.value ~default:Internal (error_kind_of_name kind_name)
+      in
+      Ok (Rejected { kind; message })
+  | ty, _ -> Error (Bad_request, "unknown response type " ^ ty)
+
+(* ------------------------------------------------------------------ *)
+(* String forms                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let render_request ?id req = Json.render (request_to_json ?id req)
+let render_response ?id resp = Json.render (response_to_json ?id resp)
+
+let parse_frame of_json line =
+  match Json.parse line with
+  | Ok json -> of_json json
+  | Error msg -> Error (None, (Bad_frame, msg))
+
+let parse_request line = parse_frame request_of_json line
+let parse_response line = parse_frame response_of_json line
+
+(* ------------------------------------------------------------------ *)
+(* Equality and printing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let equal_budget a b =
+  Option.equal Float.equal a.timeout_s b.timeout_s
+  && Option.equal Int.equal a.fuel b.fuel
+  && Option.equal Int.equal a.max_clauses b.max_clauses
+
+let equal_request a b =
+  match (a, b) with
+  | Open_session a, Open_session b ->
+      String.equal a.ontology b.ontology
+      && String.equal a.data b.data
+      && String.equal a.query b.query
+      && Int.equal a.max_extra b.max_extra
+  | Close_session a, Close_session b -> Int.equal a.session b.session
+  | Eval a, Eval b ->
+      Int.equal a.session b.session
+      && equal_budget a.budget b.budget
+      && Bool.equal a.want_stats b.want_stats
+  | Classify a, Classify b -> String.equal a.ontology b.ontology
+  | Insert_facts a, Insert_facts b ->
+      Int.equal a.session b.session && String.equal a.facts b.facts
+  | Stats, Stats | Shutdown, Shutdown -> true
+  | _ -> false
+
+let equal_tuples = List.equal (List.equal String.equal)
+
+let equal_response a b =
+  match (a, b) with
+  | Opened a, Opened b -> Int.equal a.session b.session
+  | Closed a, Closed b -> Int.equal a.session b.session
+  | Evaled a, Evaled b ->
+      Bool.equal a.result.consistent b.result.consistent
+      && Bool.equal a.result.boolean b.result.boolean
+      && equal_tuples a.result.tuples b.result.tuples
+      && Option.equal Json.equal a.stats b.stats
+  | Partial a, Partial b ->
+      a.reason = b.reason
+      && equal_tuples a.certified b.certified
+      && Option.equal (List.equal String.equal) a.resume_from b.resume_from
+      && Option.equal Json.equal a.stats b.stats
+  | Classified a, Classified b ->
+      String.equal a.dl_name b.dl_name
+      && Int.equal a.depth b.depth
+      && Option.equal String.equal a.fragment b.fragment
+      && String.equal a.status b.status
+      && String.equal a.evidence_fragment b.evidence_fragment
+      && String.equal a.source b.source
+  | Decided { verdict = `Ptime n }, Decided { verdict = `Ptime m } ->
+      Int.equal n m
+  | Decided { verdict = `Conp_hard v }, Decided { verdict = `Conp_hard w } ->
+      String.equal v w
+  | Decide_partial a, Decide_partial b ->
+      a.reason = b.reason && Int.equal a.checked b.checked
+  | Inserted a, Inserted b ->
+      Int.equal a.session b.session && Int.equal a.total_facts b.total_facts
+  | Server_stats a, Server_stats b ->
+      Float.equal a.uptime_s b.uptime_s
+      && Int.equal a.sessions b.sessions
+      && Int.equal a.served b.served
+      && Int.equal a.errors b.errors
+      && Json.equal a.reasoner b.reasoner
+  | Shutdown_ack, Shutdown_ack -> true
+  | Rejected a, Rejected b ->
+      a.kind = b.kind && String.equal a.message b.message
+  | _ -> false
+
+let pp_request ppf r = Fmt.string ppf (render_request r)
+let pp_response ppf r = Fmt.string ppf (render_response r)

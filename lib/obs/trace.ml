@@ -105,7 +105,7 @@ let collect ?ring_capacity f =
    "timeout"/"out_of_fuel"). First match wins; the fallback is the
    printed exception. Registration happens at module initialisation on
    the main domain, before any worker can spawn — spawned domains
-   observe the completed list through Domain.spawn's happens-before
+   observe the completed list through the domain-spawn happens-before
    edge, so the plain ref is safe. *)
 let exn_labels : (exn -> string option) list ref = ref []
 let register_exn_label f = exn_labels := f :: !exn_labels

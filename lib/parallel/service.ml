@@ -1,0 +1,129 @@
+(* Per-worker mailbox domains with a shared completion queue.
+
+   Memory model: a mailbox (queue, stop flag) is only touched under its
+   worker's mutex; the completion queue and the crash list only under
+   [cmutex]. [in_flight] is an atomic incremented at submit and
+   decremented after the completion (or crash) is recorded, so the owner
+   observing [in_flight = 0] after a drain knows no result is still in
+   transit. The wakeup callback fires after both writes — an owner woken
+   by it sees the completion. *)
+
+type 'r mailbox = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> 'r) Queue.t;
+  mutable stop : bool;
+}
+
+type 'r t = {
+  njobs : int;
+  boxes : 'r mailbox array;
+  cmutex : Mutex.t;
+  completions : 'r Queue.t;
+  crashes : (exn * Printexc.raw_backtrace) Queue.t;
+  in_flight : int Atomic.t;
+  wakeup : unit -> unit;
+  mutable workers : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+let jobs t = t.njobs
+
+let worker_loop t box =
+  let rec loop () =
+    Mutex.lock box.mutex;
+    while Queue.is_empty box.queue && not box.stop do
+      Condition.wait box.cond box.mutex
+    done;
+    if Queue.is_empty box.queue then begin
+      (* stop, and the mailbox is drained *)
+      Mutex.unlock box.mutex
+    end
+    else begin
+      let job = Queue.pop box.queue in
+      Mutex.unlock box.mutex;
+      (match job () with
+      | r ->
+          Mutex.lock t.cmutex;
+          Queue.push r t.completions;
+          Mutex.unlock t.cmutex
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.cmutex;
+          Queue.push (e, bt) t.crashes;
+          Mutex.unlock t.cmutex);
+      Atomic.decr t.in_flight;
+      t.wakeup ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs ~wakeup () =
+  let njobs = max jobs 1 in
+  let boxes =
+    Array.init njobs (fun _ ->
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          queue = Queue.create ();
+          stop = false;
+        })
+  in
+  let t =
+    {
+      njobs;
+      boxes;
+      cmutex = Mutex.create ();
+      completions = Queue.create ();
+      crashes = Queue.create ();
+      in_flight = Atomic.make 0;
+      wakeup;
+      workers = [||];
+      stopped = false;
+    }
+  in
+  t.workers <-
+    Array.map (fun box -> Domain.spawn (fun () -> worker_loop t box)) boxes;
+  t
+
+let submit t ~worker job =
+  if t.stopped then invalid_arg "Parallel.Service: service is shut down";
+  let box = t.boxes.(((worker mod t.njobs) + t.njobs) mod t.njobs) in
+  Atomic.incr t.in_flight;
+  Mutex.lock box.mutex;
+  Queue.push job box.queue;
+  Condition.signal box.cond;
+  Mutex.unlock box.mutex
+
+let drain t =
+  Mutex.lock t.cmutex;
+  let rec go acc =
+    if Queue.is_empty t.completions then List.rev acc
+    else go (Queue.pop t.completions :: acc)
+  in
+  let rs = go [] in
+  Mutex.unlock t.cmutex;
+  rs
+
+let in_flight t = Atomic.get t.in_flight
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter
+      (fun box ->
+        Mutex.lock box.mutex;
+        box.stop <- true;
+        Condition.broadcast box.cond;
+        Mutex.unlock box.mutex)
+      t.boxes;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||];
+    Mutex.lock t.cmutex;
+    let crash = if Queue.is_empty t.crashes then None else Some (Queue.pop t.crashes) in
+    Mutex.unlock t.cmutex;
+    match crash with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

@@ -1,0 +1,54 @@
+(** Long-lived worker domains with per-worker mailboxes — the serving
+    counterpart of {!Pool}.
+
+    {!Pool} is batch-shaped: one submission array, an atomic work-stealing
+    cursor, a join barrier. A server needs the opposite discipline:
+    requests arrive one at a time, each must run on a {e specific} worker
+    (sticky routing — an OMQ session's engines, grounding memo and other
+    {!Domain.DLS} state live on the domain that created them and are
+    neither shared nor movable), and nobody ever joins a batch. A
+    service therefore keeps one FIFO mailbox per worker domain and a
+    shared completion queue the owner drains at its leisure.
+
+    Ownership: [submit], [drain] and [shutdown] are called from the one
+    owning domain (the event loop); jobs run on their worker and their
+    results cross back through the completion queue, synchronised by the
+    queue's mutex. The [wakeup] callback runs {e on the worker} right
+    after a completion is enqueued — it must be async-signal-ish cheap
+    and thread-safe (the daemon writes one byte to a self-pipe to nudge
+    its [select]).
+
+    Unlike {!Pool}, the owner is not a worker: all [jobs] workers are
+    spawned domains, and the owner's own domain-local state is never
+    touched by jobs. *)
+
+type 'r t
+
+(** [create ~jobs ~wakeup ()] spawns [jobs] worker domains (clamped to
+    at least 1), each with an empty mailbox. *)
+val create : jobs:int -> wakeup:(unit -> unit) -> unit -> 'r t
+
+val jobs : 'r t -> int
+
+(** [submit t ~worker job] appends [job] to worker [worker mod jobs]'s
+    mailbox. Jobs on one worker run in submission order (per-session
+    FIFO is exactly sticky routing plus this). The job's result is
+    enqueued for {!drain}; a job that raises is dropped from the
+    completion stream and its exception is re-raised by {!shutdown} —
+    wrap jobs that may fail so they return a value instead.
+    @raise Invalid_argument after {!shutdown}. *)
+val submit : 'r t -> worker:int -> (unit -> 'r) -> unit
+
+(** Completed results, in completion order (across workers: the order
+    they finished, not the order submitted). Never blocks. *)
+val drain : 'r t -> 'r list
+
+(** Jobs submitted but not yet drained (queued + running + completed
+    but undrained). [0] means the service is idle and {!drain} would
+    return []. *)
+val in_flight : 'r t -> int
+
+(** Stop accepting work, let every queued job finish, join the workers,
+    then re-raise the first job exception if any job raised. Remaining
+    completions are still available via {!drain}. Idempotent. *)
+val shutdown : 'r t -> unit

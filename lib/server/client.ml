@@ -1,0 +1,106 @@
+module P = Omq.Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let sockaddr_of = function
+  | Daemon.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Daemon.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect ?(attempts = 50) addr =
+  match sockaddr_of addr with
+  | exception Not_found -> Error (Fmt.str "cannot resolve %a" Daemon.pp_addr addr)
+  | domain, sa ->
+      let rec go n =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sa with
+        | () -> Ok { fd; inbuf = Buffer.create 512; next_id = 0; closed = false }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let retryable =
+              match e with
+              | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN
+              | Unix.ECONNRESET ->
+                  true
+              | _ -> false
+            in
+            if retryable && n > 1 then begin
+              Unix.sleepf 0.1;
+              go (n - 1)
+            end
+            else
+              Error
+                (Fmt.str "connect %a: %s" Daemon.pp_addr addr
+                   (Unix.error_message e))
+      in
+      go (max attempts 1)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all t s =
+  let len = String.length s in
+  let rec go pos =
+    if pos >= len then Ok ()
+    else
+      match Unix.write_substring t.fd s pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "write: %s" (Unix.error_message e))
+  in
+  go 0
+
+(* One line from the connection, buffering any tail for the next read. *)
+let read_line t =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let data = Buffer.contents t.inbuf in
+    match String.index_opt data '\n' with
+    | Some i ->
+        let line = String.sub data 0 i in
+        Buffer.clear t.inbuf;
+        Buffer.add_substring t.inbuf data (i + 1) (String.length data - i - 1);
+        Ok line
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Buffer.add_subbytes t.inbuf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Fmt.str "read: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let ( let* ) = Result.bind
+
+let raw t line =
+  let* () = write_all t (line ^ "\n") in
+  read_line t
+
+let call t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let* () = write_all t (P.render_request ~id req ^ "\n") in
+  let rec await () =
+    let* line = read_line t in
+    match P.parse_response line with
+    | Ok (Some rid, resp) when rid = id -> Ok resp
+    | Ok (_, _) -> await ()
+    | Error (_, (_, msg)) -> Error (Fmt.str "bad response frame: %s" msg)
+  in
+  await ()

@@ -1,0 +1,22 @@
+(** A blocking client for the {!Omq.Protocol} wire format — the CLI's
+    [omq_tool request], the load generator and the test suite all speak
+    through it. One request in flight at a time: {!call} assigns a fresh
+    ["id"], writes one frame and reads until the response echoing that
+    id arrives (unsolicited frames with other ids are discarded). *)
+
+type t
+
+(** [connect addr] dials the daemon. [attempts] (default 50) retries a
+    refused/missing endpoint every 100 ms — daemons start
+    asynchronously. *)
+val connect : ?attempts:int -> Daemon.addr -> (t, string) result
+
+(** Send [request], return the matching decoded response. [Error] on
+    I/O failure, EOF, or an undecodable frame. *)
+val call : t -> Omq.Protocol.request -> (Omq.Protocol.response, string) result
+
+(** Escape hatch for protocol testing: send [line] verbatim (one frame;
+    the newline is appended) and return the next response line raw. *)
+val raw : t -> string -> (string, string) result
+
+val close : t -> unit

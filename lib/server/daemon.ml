@@ -1,0 +1,656 @@
+(* The serve event loop.
+
+   Single-owner architecture: this domain owns the listening socket,
+   every connection, the session table and the served/error counters —
+   no lock guards any of them. The only concurrency is the
+   [Parallel.Service]: jobs run on worker domains and come back through
+   its completion queue, which the loop drains at the top of every
+   iteration; a one-byte self-pipe write (the service's [wakeup]) makes
+   [select] return promptly when a completion lands.
+
+   Sticky routing: a session's worker index is chosen round-robin at
+   [open_session] and stored in the session record; every subsequent
+   [eval] / [insert_facts] for it is submitted to that same mailbox.
+   Combined with the per-mailbox FIFO this serialises all work of one
+   session on one domain — required, because the engines live in that
+   domain's DLS and are not movable. *)
+
+module P = Omq.Protocol
+module S = Reasoner.Stats
+
+type addr = Unix_path of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_path p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "%s:%d" h p
+
+type config = {
+  addr : addr;
+  jobs : int;
+  caps : P.budget_spec;
+  max_frame : int;
+  trace : (Obs.Export.format * string) option;
+  log : bool;
+}
+
+let default_max_frame = 8 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Serving state *)
+
+type sess = {
+  omq : Omq.t;
+  session : Omq.session;
+  worker : int;  (** the one domain allowed to touch this session *)
+  max_extra : int;
+}
+
+(* Session-table effect a completed job carries back to the loop. [New]
+   always registers (it is the open that created the id); [Refresh] only
+   replaces a still-live session, so an insert racing a close cannot
+   resurrect it. *)
+type reg = New of int * sess | Refresh of int * sess
+
+type completion = {
+  conn_id : int;
+  rid : int option;
+  resp : P.response;
+  register : reg option;
+  worker : int;
+  wstats : S.t;  (** cumulative snapshot of the worker's Stats.global *)
+  trace : Obs.Trace.t option;
+}
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable discarding : bool;  (** inside an oversized line: drop to \n *)
+  mutable out : string;
+  mutable outpos : int;
+}
+
+type state = {
+  cfg : config;
+  service : completion Parallel.Service.t;
+  tracing : bool;
+  sessions : (int, sess) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
+  worker_stats : S.t array;
+  start_s : float;
+  mutable next_sid : int;
+  mutable next_conn_id : int;
+  mutable rr : int;
+  mutable served : int;
+  mutable errors : int;
+  mutable shutting : bool;
+  mutable shut_deadline : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Output: per-connection pending string + cursor, flushed as far as the
+   socket accepts; the loop selects-for-write while any remains. *)
+
+let pending conn = String.length conn.out > conn.outpos
+
+let close_conn st conn =
+  Hashtbl.remove st.conns conn.id;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let rec try_flush st conn =
+  let len = String.length conn.out - conn.outpos in
+  if len > 0 then
+    match Unix.write_substring conn.fd conn.out conn.outpos len with
+    | 0 -> ()
+    | n ->
+        conn.outpos <- conn.outpos + n;
+        try_flush st conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush st conn
+    | exception Unix.Unix_error _ -> close_conn st conn
+
+let respond st conn rid resp =
+  st.served <- st.served + 1;
+  (match resp with P.Rejected _ -> st.errors <- st.errors + 1 | _ -> ());
+  let line = P.render_response ?id:rid resp ^ "\n" in
+  let rest =
+    if conn.outpos = 0 then conn.out
+    else String.sub conn.out conn.outpos (String.length conn.out - conn.outpos)
+  in
+  conn.out <- rest ^ line;
+  conn.outpos <- 0;
+  try_flush st conn
+
+(* ------------------------------------------------------------------ *)
+(* Input loading from request payload strings; the same error-message
+   shape as omq_tool's file loaders, with the field name as "file". *)
+
+let load_tbox_text text =
+  try Ok (Dl.Parser.parse_tbox text) with
+  | Dl.Parser.Parse_error { line; message } ->
+      Error (Printf.sprintf "ontology:%d: %s" line message)
+  | Dl.Lexer.Lex_error { line; col; message } ->
+      Error (Printf.sprintf "ontology:%d:%d: %s" line col message)
+
+let load_instance_text what text =
+  try Ok (Structure.Parse.instance_of_string text) with
+  | Structure.Parse.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" what line message)
+
+let load_query_text text =
+  try Ok (Query.Parse.ucq_of_string text)
+  with Query.Parse.Parse_error m -> Error (Printf.sprintf "query: %s" m)
+
+let element_name e = Fmt.str "%a" Structure.Element.pp e
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and stats *)
+
+let omin cmp a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if cmp a b <= 0 then a else b)
+
+let clamp (caps : P.budget_spec) (want : P.budget_spec) : P.budget_spec =
+  {
+    timeout_s = omin Float.compare want.timeout_s caps.timeout_s;
+    fuel = omin Int.compare want.fuel caps.fuel;
+    max_clauses = omin Int.compare want.max_clauses caps.max_clauses;
+  }
+
+let budget_of_spec (spec : P.budget_spec) =
+  match spec with
+  | { timeout_s = None; fuel = None; max_clauses = None } ->
+      Reasoner.Budget.unlimited
+  | { timeout_s; fuel; max_clauses } ->
+      Reasoner.Budget.create ?timeout:timeout_s ?fuel ?max_clauses ()
+
+let stats_delta (a : S.t) (b : S.t) : S.t =
+  let d = S.create () in
+  d.groundings <- b.groundings - a.groundings;
+  d.solves <- b.solves - a.solves;
+  d.decisions <- b.decisions - a.decisions;
+  d.propagations <- b.propagations - a.propagations;
+  d.conflicts <- b.conflicts - a.conflicts;
+  d.cache_hits <- b.cache_hits - a.cache_hits;
+  d.cache_misses <- b.cache_misses - a.cache_misses;
+  d.memo_hits <- b.memo_hits - a.memo_hits;
+  d.memo_misses <- b.memo_misses - a.memo_misses;
+  d.budget_timeouts <- b.budget_timeouts - a.budget_timeouts;
+  d.budget_fuel_trips <- b.budget_fuel_trips - a.budget_fuel_trips;
+  d.ground_seconds <- b.ground_seconds -. a.ground_seconds;
+  d.solve_seconds <- b.solve_seconds -. a.solve_seconds;
+  d
+
+(* Stats cross the wire as the Stats.to_json object, re-parsed into the
+   protocol's Json so responses round-trip exactly. *)
+let stats_json st =
+  match P.Json.parse (S.to_json st) with Ok j -> j | Error _ -> P.Json.Null
+
+(* ------------------------------------------------------------------ *)
+(* Worker jobs. Each returns (response, session-table effect); raising
+   is reserved for bugs and is mapped to a typed Internal response by
+   [submit_job], never to a daemon crash. *)
+
+let outcome_of = function
+  | P.Partial { reason; _ } | P.Decide_partial { reason; _ } ->
+      P.reason_name reason
+  | P.Rejected _ -> "error"
+  | _ -> "ok"
+
+let submit_job st conn rid ~worker ~op make =
+  let conn_id = conn.id in
+  let tracing = st.tracing in
+  Parallel.Service.submit st.service ~worker (fun () ->
+      let job () =
+        try make () with
+        | e ->
+            ( P.Rejected
+                { kind = P.Internal; message = Printexc.to_string e },
+              None )
+      in
+      let (resp, register), trace =
+        if tracing then
+          let r, col =
+            Obs.Trace.collect (fun () ->
+                Obs.Trace.with_span
+                  ~attrs:[ ("op", Obs.Trace.Str op) ]
+                  "serve.request"
+                  (fun () ->
+                    let ((resp, _) as r) = job () in
+                    Obs.Trace.add_attr "outcome"
+                      (Obs.Trace.Str (outcome_of resp));
+                    r))
+          in
+          (r, Some col)
+        else (job (), None)
+      in
+      { conn_id; rid; resp; register; worker; wstats = S.copy (S.global ()); trace })
+
+let open_job ~sid ~worker ~ontology ~data ~query ~max_extra () =
+  let ( let* ) r f =
+    match r with
+    | Ok v -> f v
+    | Error msg -> (P.Rejected { kind = P.Bad_request; message = msg }, None)
+  in
+  let* tbox = load_tbox_text ontology in
+  let* inst = load_instance_text "data" data in
+  let* q = load_query_text query in
+  let omq = Omq.of_tbox tbox q in
+  let session = Omq.open_session ~max_extra omq inst in
+  (P.Opened { session = sid }, Some (New (sid, { omq; session; worker; max_extra })))
+
+let eval_job st (se : sess) (want : P.budget_spec) want_stats () =
+  let budget = budget_of_spec (clamp st.cfg.caps want) in
+  let g = S.global () in
+  let before = S.copy g in
+  let boolean = Query.Ucq.is_boolean se.omq.Omq.query in
+  let names = List.map (List.map element_name) in
+  let stats () =
+    if want_stats then Some (stats_json (stats_delta before (S.copy g)))
+    else None
+  in
+  let partial reason (p : Omq.Session.partial_answers) =
+    let resume_from =
+      match p.Omq.Session.undecided () with
+      | Seq.Nil -> None
+      | Seq.Cons (t, _) -> Some (List.map element_name t)
+    in
+    P.Partial
+      {
+        reason;
+        certified = names p.Omq.Session.certified;
+        resume_from;
+        stats = stats ();
+      }
+  in
+  let complete consistent answers =
+    P.Evaled
+      {
+        result = { P.consistent; boolean; tuples = names answers };
+        stats = stats ();
+      }
+  in
+  let no_partial = { Omq.Session.certified = []; undecided = Seq.empty } in
+  let resp =
+    match Omq.Session.is_consistent_within budget se.session with
+    | `Timeout () -> partial Reasoner.Budget.Timeout no_partial
+    | `Out_of_fuel () -> partial Reasoner.Budget.Fuel no_partial
+    | `Ok false -> complete false []
+    | `Ok true -> (
+        match Omq.Session.certain_answers_within budget se.session with
+        | `Ok answers -> complete true answers
+        | `Timeout p -> partial Reasoner.Budget.Timeout p
+        | `Out_of_fuel p -> partial Reasoner.Budget.Fuel p)
+  in
+  (resp, None)
+
+let classify_job ontology () =
+  match load_tbox_text ontology with
+  | Error msg -> (P.Rejected { kind = P.Bad_request; message = msg }, None)
+  | Ok tbox ->
+      let o = Dl.Translate.tbox tbox in
+      let fragment = Option.map Gf.Fragment.name (Gf.Fragment.of_ontology o) in
+      let ev = Classify.Landscape.of_tbox tbox in
+      ( P.Classified
+          {
+            dl_name = Dl.Tbox.name tbox;
+            depth = Dl.Tbox.depth tbox;
+            fragment;
+            status = Fmt.str "%a" Classify.Landscape.pp_status ev.status;
+            evidence_fragment = ev.Classify.Landscape.fragment;
+            source = ev.Classify.Landscape.source;
+          },
+        None )
+
+let insert_job (se : sess) sid facts () =
+  match load_instance_text "facts" facts with
+  | Error msg -> (P.Rejected { kind = P.Bad_request; message = msg }, None)
+  | Ok extra ->
+      let union = Structure.Instance.union (Omq.Session.instance se.session) extra in
+      let session = Omq.open_session ~max_extra:se.max_extra se.omq union in
+      ( P.Inserted { session = sid; total_facts = Structure.Instance.cardinal union },
+        Some (Refresh (sid, { se with session })) )
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch (on the loop domain) *)
+
+let unknown_session sid =
+  P.Rejected
+    {
+      kind = P.Unknown_session;
+      message = Printf.sprintf "no session %d" sid;
+    }
+
+let server_stats st =
+  let total = S.create () in
+  Array.iter (fun w -> S.add ~into:total w) st.worker_stats;
+  P.Server_stats
+    {
+      uptime_s = Obs.Clock.now () -. st.start_s;
+      sessions = Hashtbl.length st.sessions;
+      served = st.served;
+      errors = st.errors;
+      reasoner = stats_json total;
+    }
+
+let next_worker st =
+  let w = st.rr mod Parallel.Service.jobs st.service in
+  st.rr <- st.rr + 1;
+  w
+
+let shutdown_grace_s = 10.0
+
+let dispatch st conn rid (req : P.request) =
+  match req with
+  | P.Open_session { ontology; data; query; max_extra } ->
+      let sid = st.next_sid in
+      st.next_sid <- sid + 1;
+      let worker = next_worker st in
+      submit_job st conn rid ~worker ~op:"open_session"
+        (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
+  | P.Close_session { session } ->
+      if Hashtbl.mem st.sessions session then begin
+        Hashtbl.remove st.sessions session;
+        respond st conn rid (P.Closed { session })
+      end
+      else respond st conn rid (unknown_session session)
+  | P.Eval { session; budget; want_stats } -> (
+      match Hashtbl.find_opt st.sessions session with
+      | None -> respond st conn rid (unknown_session session)
+      | Some se ->
+          submit_job st conn rid ~worker:se.worker ~op:"eval"
+            (eval_job st se budget want_stats))
+  | P.Classify { ontology } ->
+      submit_job st conn rid ~worker:(next_worker st) ~op:"classify"
+        (classify_job ontology)
+  | P.Insert_facts { session; facts } -> (
+      match Hashtbl.find_opt st.sessions session with
+      | None -> respond st conn rid (unknown_session session)
+      | Some se ->
+          submit_job st conn rid ~worker:se.worker ~op:"insert_facts"
+            (insert_job se session facts))
+  | P.Stats -> respond st conn rid (server_stats st)
+  | P.Shutdown ->
+      st.shutting <- true;
+      st.shut_deadline <- Obs.Clock.now () +. shutdown_grace_s;
+      respond st conn rid P.Shutdown_ack
+
+let handle_frame st conn line =
+  match P.parse_request line with
+  | Error (rid, (kind, message)) ->
+      respond st conn rid (P.Rejected { kind; message })
+  | Ok (rid, P.Shutdown) -> dispatch st conn rid P.Shutdown
+  | Ok (rid, req) ->
+      if st.shutting then
+        respond st conn rid
+          (P.Rejected
+             { kind = P.Shutting_down; message = "daemon is shutting down" })
+      else dispatch st conn rid req
+
+(* ------------------------------------------------------------------ *)
+(* Framing: split the input buffer on newlines; a line longer than
+   [max_frame] gets one typed rejection and is otherwise discarded (the
+   [discarding] flag skips its tail without buffering it), keeping the
+   connection usable. *)
+
+let too_large st =
+  P.Rejected
+    {
+      kind = P.Frame_too_large;
+      message =
+        Printf.sprintf "frame exceeds %d bytes" st.cfg.max_frame;
+    }
+
+let rec process_frames st conn =
+  let data = Buffer.contents conn.inbuf in
+  match String.index_opt data '\n' with
+  | Some i ->
+      let line = String.sub data 0 i in
+      let rest = String.sub data (i + 1) (String.length data - i - 1) in
+      Buffer.clear conn.inbuf;
+      Buffer.add_string conn.inbuf rest;
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r'
+        then String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if conn.discarding then conn.discarding <- false
+      else if String.length line > st.cfg.max_frame then
+        respond st conn None (too_large st)
+      else if String.trim line <> "" then handle_frame st conn line;
+      if Hashtbl.mem st.conns conn.id then process_frames st conn
+  | None ->
+      if (not conn.discarding) && Buffer.length conn.inbuf > st.cfg.max_frame
+      then begin
+        Buffer.clear conn.inbuf;
+        conn.discarding <- true;
+        respond st conn None (too_large st)
+      end
+
+let handle_readable st conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    if Hashtbl.mem st.conns conn.id then
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | 0 -> close_conn st conn
+      | n ->
+          Buffer.add_subbytes conn.inbuf buf 0 n;
+          process_frames st conn;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_conn st conn
+  in
+  go ()
+
+let handle_completion st (c : completion) =
+  (match c.register with
+  | Some (New (sid, se)) -> Hashtbl.replace st.sessions sid se
+  | Some (Refresh (sid, se)) ->
+      if Hashtbl.mem st.sessions sid then Hashtbl.replace st.sessions sid se
+  | None -> ());
+  st.worker_stats.(c.worker) <- c.wstats;
+  (match c.trace with
+  | Some col -> (
+      match Obs.Trace.active () with
+      | Some into ->
+          Obs.Trace.absorb ~attrs:[ ("domain", Obs.Trace.Int c.worker) ] ~into
+            col
+      | None -> ())
+  | None -> ());
+  match Hashtbl.find_opt st.conns c.conn_id with
+  | Some conn -> respond st conn c.rid c.resp
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket setup and the loop *)
+
+let listen_on = function
+  | Unix_path path ->
+      if Sys.file_exists path then begin
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+      end;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      Unix.set_nonblock fd;
+      fd
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 128;
+      Unix.set_nonblock fd;
+      fd
+
+let all_conns st = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
+let no_pending st = Hashtbl.fold (fun _ c ok -> ok && not (pending c)) st.conns true
+
+let run ?(ready = fun () -> ()) cfg =
+  let prev_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore_pipe () =
+    match prev_pipe with
+    | Some h -> (
+        try Sys.set_signal Sys.sigpipe h
+        with Invalid_argument _ | Sys_error _ -> ())
+    | None -> ()
+  in
+  match listen_on cfg.addr with
+  | exception Unix.Unix_error (e, fn, _) ->
+      restore_pipe ();
+      Error
+        (Fmt.str "cannot listen on %a: %s (%s)" pp_addr cfg.addr
+           (Unix.error_message e) fn)
+  | exception Not_found ->
+      restore_pipe ();
+      Error (Fmt.str "cannot resolve %a" pp_addr cfg.addr)
+  | listen_fd ->
+      let pipe_r, pipe_w = Unix.pipe () in
+      Unix.set_nonblock pipe_r;
+      Unix.set_nonblock pipe_w;
+      let wake_byte = Bytes.make 1 '!' in
+      let wakeup () =
+        try ignore (Unix.single_write pipe_w wake_byte 0 1)
+        with Unix.Unix_error _ -> ()
+      in
+      let root =
+        match cfg.trace with
+        | None -> None
+        | Some _ ->
+            let c = Obs.Trace.create () in
+            Obs.Trace.install c;
+            Some c
+      in
+      let service = Parallel.Service.create ~jobs:cfg.jobs ~wakeup () in
+      let jobs = Parallel.Service.jobs service in
+      let st =
+        {
+          cfg;
+          service;
+          tracing = Option.is_some root;
+          sessions = Hashtbl.create 31;
+          conns = Hashtbl.create 31;
+          worker_stats = Array.init jobs (fun _ -> S.create ());
+          start_s = Obs.Clock.now ();
+          next_sid = 0;
+          next_conn_id = 0;
+          rr = 0;
+          served = 0;
+          errors = 0;
+          shutting = false;
+          shut_deadline = 0.0;
+        }
+      in
+      if cfg.log then
+        Fmt.epr "omqd: listening on %a (%d worker%s)@." pp_addr cfg.addr jobs
+          (if jobs = 1 then "" else "s");
+      let drain_pipe () =
+        let b = Bytes.create 256 in
+        let rec go () =
+          match Unix.read pipe_r b 0 (Bytes.length b) with
+          | 0 -> ()
+          | _ -> go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        in
+        go ()
+      in
+      let rec accept_all () =
+        match Unix.accept listen_fd with
+        | cfd, _ ->
+            Unix.set_nonblock cfd;
+            let id = st.next_conn_id in
+            st.next_conn_id <- id + 1;
+            Hashtbl.replace st.conns id
+              {
+                id;
+                fd = cfd;
+                inbuf = Buffer.create 512;
+                discarding = false;
+                out = "";
+                outpos = 0;
+              };
+            accept_all ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      let rec loop () =
+        List.iter (handle_completion st) (Parallel.Service.drain service);
+        let drained =
+          st.shutting
+          && Parallel.Service.in_flight service = 0
+          && no_pending st
+        in
+        let expired = st.shutting && Obs.Clock.now () > st.shut_deadline in
+        if not (drained || expired) then begin
+          let conns = all_conns st in
+          let rds =
+            (pipe_r :: (if st.shutting then [] else [ listen_fd ]))
+            @ List.map (fun c -> c.fd) conns
+          in
+          let wrs =
+            List.filter_map
+              (fun c -> if pending c then Some c.fd else None)
+              conns
+          in
+          (match Unix.select rds wrs [] 0.5 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | rs, ws, _ ->
+              if List.mem pipe_r rs then drain_pipe ();
+              if (not st.shutting) && List.mem listen_fd rs then accept_all ();
+              List.iter
+                (fun c ->
+                  if Hashtbl.mem st.conns c.id && List.mem c.fd ws then
+                    try_flush st c)
+                conns;
+              List.iter
+                (fun c ->
+                  if Hashtbl.mem st.conns c.id && List.mem c.fd rs then
+                    handle_readable st c)
+                conns);
+          loop ()
+        end
+      in
+      ready ();
+      let result =
+        match loop () with
+        | () -> Ok ()
+        | exception e -> Error (Printexc.to_string e)
+      in
+      (try Parallel.Service.shutdown service
+       with _ -> ());
+      List.iter (fun c -> close_conn st c) (all_conns st);
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+      (match cfg.addr with
+      | Unix_path p -> (
+          try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | Tcp _ -> ());
+      let result =
+        match (root, cfg.trace) with
+        | Some c, Some (fmt, path) -> (
+            ignore (Obs.Trace.uninstall ());
+            match Obs.Export.to_file fmt c path with
+            | () -> result
+            | exception Sys_error m -> (
+                match result with Ok () -> Error m | Error _ -> result))
+        | Some _, None | None, _ -> result
+      in
+      if cfg.log then Fmt.epr "omqd: shut down@.";
+      restore_pipe ();
+      result

@@ -1,0 +1,53 @@
+(** The long-lived OMQ daemon behind [omq_tool serve].
+
+    One event-loop domain owns every socket and every piece of serving
+    state; [jobs] worker domains own the reasoning. Requests are
+    newline-delimited {!Omq.Protocol} frames; sessions are routed
+    {e sticky}: a session is pinned at open to one worker (round-robin)
+    and every later request for it runs on that same worker, so the
+    engines it grounded, the circuit memo and the rest of the worker's
+    {!Domain.DLS} state stay hot — and are never touched from two
+    domains (the engines are single-domain mutable state; stickiness is
+    a correctness invariant, not just a cache policy).
+
+    Resource governance: each request runs under a fresh
+    {!Reasoner.Budget} built from the request's {!Omq.Protocol.budget_spec}
+    clamped dimension-wise to the daemon's admission caps ([caps]); the
+    deadline starts when the request starts executing on its worker. A
+    tripped budget degrades that one request to a typed
+    [Partial]/[Decide_partial] response (outcome ["timeout"] /
+    ["out_of_fuel"], the wire twin of exit codes 124/125) — the daemon,
+    the session and every other request are unaffected.
+
+    Observability: when [trace] is set, every request runs under a
+    private collector on its worker, absorbed into the daemon's ambient
+    collector in completion order as a ["serve.request"] span tagged
+    with the worker's [domain]; the merged trace is exported to the
+    given file on shutdown. *)
+
+type addr =
+  | Unix_path of string  (** Unix domain socket; unlinked on shutdown *)
+  | Tcp of string * int  (** bind host (numeric or name) and port *)
+
+val pp_addr : addr Fmt.t
+
+type config = {
+  addr : addr;
+  jobs : int;  (** worker domains (clamped to >= 1) *)
+  caps : Omq.Protocol.budget_spec;
+      (** admission caps: per-request budgets are clamped to these *)
+  max_frame : int;  (** request frames longer than this are rejected
+                        ([frame_too_large]) and the rest of the
+                        oversized line is discarded *)
+  trace : (Obs.Export.format * string) option;
+  log : bool;  (** startup/shutdown notes on stderr *)
+}
+
+val default_max_frame : int
+
+(** [run cfg] serves until a [shutdown] request: accepts connections,
+    answers every in-flight request, flushes, closes and returns
+    [Ok ()]. [ready] is called once listening (before the first
+    accept) — for embedding the daemon in a test or bench harness.
+    Setup failures (bind, listen) return [Error]. *)
+val run : ?ready:(unit -> unit) -> config -> (unit, string) result

@@ -1,0 +1,229 @@
+module P = Omq.Protocol
+
+type spec = {
+  open_req : P.request;
+  make_eval : session:int -> P.request;
+  expected : string option;
+}
+
+type summary = {
+  clients : int;
+  queries_per_client : int;
+  total : int;
+  ok : int;
+  tripped : int;
+  errors : int;
+  mismatches : int;
+  seconds : float;
+  throughput_rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+exception Fail of string
+
+let failf fmt = Fmt.kstr (fun m -> raise (Fail m)) fmt
+
+type cstate = {
+  index : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  spec : spec;
+  mutable session : int;
+  mutable got : int;  (** evals answered *)
+  mutable sent_at : float;
+  mutable next_id : int;
+  mutable phase : [ `Opening | `Running | `Done ];
+}
+
+let sockaddr_of = function
+  | Daemon.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Daemon.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failf "cannot resolve %s" host)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect addr =
+  let domain, sa = sockaddr_of addr in
+  let rec go n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n > 1 then begin
+          Unix.sleepf 0.1;
+          go (n - 1)
+        end
+        else
+          failf "connect %a: %s" Daemon.pp_addr addr (Unix.error_message e)
+  in
+  go 50
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then
+      match Unix.write_substring fd s pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) ->
+          failf "write: %s" (Unix.error_message e)
+  in
+  go 0
+
+let send c req =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  write_all c.fd (P.render_request ~id req ^ "\n")
+
+let send_eval c =
+  c.sent_at <- Obs.Clock.now ();
+  send c (c.spec.make_eval ~session:c.session)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run addr specs ~queries =
+  if specs = [] then Error "loadgen: no clients"
+  else if queries < 1 then Error "loadgen: queries must be >= 1"
+  else
+    try
+      let clients =
+        List.mapi
+          (fun index spec ->
+            {
+              index;
+              fd = connect addr;
+              inbuf = Buffer.create 512;
+              spec;
+              session = -1;
+              got = 0;
+              sent_at = 0.0;
+              next_id = 0;
+              phase = `Opening;
+            })
+          specs
+      in
+      let latencies = ref [] in
+      let ok = ref 0 and tripped = ref 0 and errors = ref 0 in
+      let mismatches = ref 0 in
+      let t0 = Obs.Clock.now () in
+      List.iter (fun c -> send c c.spec.open_req) clients;
+      let finish c =
+        c.phase <- `Done;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      in
+      let handle_line c line =
+        match P.parse_response line with
+        | Error (_, (_, msg)) ->
+            failf "client %d: bad response frame: %s" c.index msg
+        | Ok (_, resp) -> (
+            match c.phase with
+            | `Opening -> (
+                match resp with
+                | P.Opened { session } ->
+                    c.session <- session;
+                    c.phase <- `Running;
+                    send_eval c
+                | other ->
+                    failf "client %d: open failed: %s" c.index
+                      (P.render_response other))
+            | `Running ->
+                let lat = Obs.Clock.now () -. c.sent_at in
+                latencies := lat :: !latencies;
+                (match resp with
+                | P.Evaled _ -> incr ok
+                | P.Partial _ | P.Decide_partial _ -> incr tripped
+                | _ -> incr errors);
+                (match c.spec.expected with
+                | Some want ->
+                    if P.render_response resp <> want then incr mismatches
+                | None -> ());
+                c.got <- c.got + 1;
+                if c.got >= queries then finish c else send_eval c
+            | `Done -> ())
+      in
+      let process c =
+        let chunk = Bytes.create 65536 in
+        (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failf "client %d: connection closed by server" c.index
+        | n -> Buffer.add_subbytes c.inbuf chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        let rec lines () =
+          if c.phase <> `Done then begin
+            let data = Buffer.contents c.inbuf in
+            match String.index_opt data '\n' with
+            | Some i ->
+                let line = String.sub data 0 i in
+                Buffer.clear c.inbuf;
+                Buffer.add_substring c.inbuf data (i + 1)
+                  (String.length data - i - 1);
+                handle_line c line;
+                lines ()
+            | None -> ()
+          end
+        in
+        lines ()
+      in
+      let rec loop () =
+        let live = List.filter (fun c -> c.phase <> `Done) clients in
+        if live <> [] then begin
+          let fds = List.map (fun c -> c.fd) live in
+          match Unix.select fds [] [] 30.0 with
+          | [], _, _ -> failf "daemon stalled: no response within 30s"
+          | rs, _, _ ->
+              List.iter (fun c -> if List.mem c.fd rs then process c) live;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        end
+      in
+      loop ();
+      let seconds = Obs.Clock.now () -. t0 in
+      let lats = Array.of_list !latencies in
+      Array.sort Float.compare lats;
+      let total = Array.length lats in
+      let sum = Array.fold_left ( +. ) 0.0 lats in
+      let ms x = 1000.0 *. x in
+      Ok
+        {
+          clients = List.length clients;
+          queries_per_client = queries;
+          total;
+          ok = !ok;
+          tripped = !tripped;
+          errors = !errors;
+          mismatches = !mismatches;
+          seconds;
+          throughput_rps =
+            (if seconds > 0.0 then float_of_int total /. seconds else 0.0);
+          mean_ms =
+            (if total = 0 then 0.0 else ms (sum /. float_of_int total));
+          p50_ms = ms (percentile lats 0.50);
+          p95_ms = ms (percentile lats 0.95);
+          p99_ms = ms (percentile lats 0.99);
+          max_ms = (if total = 0 then 0.0 else ms lats.(total - 1));
+        }
+    with Fail m -> Error m
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>%d client(s) x %d quer%s: %d answered (%d ok, %d tripped, %d \
+     error(s), %d mismatch(es))@,\
+     %.3f s wall, %.1f req/s@,\
+     latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@]"
+    s.clients s.queries_per_client
+    (if s.queries_per_client = 1 then "y" else "ies")
+    s.total s.ok s.tripped s.errors s.mismatches s.seconds s.throughput_rps
+    s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms

@@ -1,0 +1,43 @@
+(** Load generator for the serve daemon: N concurrent clients, each
+    opening one session and issuing M evals back to back (one request
+    in flight per client — closed-loop load), multiplexed on a single
+    [select] loop so the generator itself needs no threads or domains.
+
+    Latency is measured per eval with {!Obs.Clock} from write to decoded
+    response. When a spec carries [expected] (the
+    {!Omq.Protocol.render_response} string of the answer, without an
+    ["id"]), every response is re-rendered id-less and compared byte for
+    byte — the bench's proof that served answers are identical to the
+    sequential CLI's. *)
+
+type spec = {
+  open_req : Omq.Protocol.request;  (** must be an [Open_session] *)
+  make_eval : session:int -> Omq.Protocol.request;
+  expected : string option;
+      (** id-less rendering every eval response must equal *)
+}
+
+type summary = {
+  clients : int;
+  queries_per_client : int;
+  total : int;  (** evals answered (excludes the opens) *)
+  ok : int;  (** complete [Evaled] responses *)
+  tripped : int;  (** budget-tripped partials *)
+  errors : int;  (** typed rejections *)
+  mismatches : int;  (** responses differing from [expected] *)
+  seconds : float;  (** wall time, first open to last response *)
+  throughput_rps : float;  (** total / seconds *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(** [run addr specs ~queries] drives one client per spec. [Error] when a
+    connection cannot be established, an open fails, a frame cannot be
+    decoded, or the daemon stalls (no progress for 30 s). *)
+val run :
+  Daemon.addr -> spec list -> queries:int -> (summary, string) result
+
+val pp_summary : summary Fmt.t

@@ -22,4 +22,6 @@ let () =
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
+      ("protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
     ]
