@@ -261,16 +261,7 @@ let serve_table () =
           (Printf.sprintf "omq-bench-%d.sock" (Unix.getpid ()))
       in
       let addr = Omqd.Daemon.Unix_path path in
-      let cfg =
-        {
-          Omqd.Daemon.addr;
-          jobs;
-          caps = P.no_budget;
-          max_frame = Omqd.Daemon.default_max_frame;
-          trace = None;
-          log = false;
-        }
-      in
+      let cfg = Omqd.Daemon.config ~addr ~jobs () in
       let daemon = ref (Ok ()) in
       let th = Thread.create (fun () -> daemon := Omqd.Daemon.run cfg) () in
       let spec =
@@ -316,6 +307,170 @@ let serve_table () =
           Obs.Metrics.set m "bench.serve.p95_ms" s.Omqd.Loadgen.p95_ms;
           Obs.Metrics.set m "bench.serve.p99_ms" s.Omqd.Loadgen.p99_ms;
           Obs.Metrics.set m "bench.serve.max_ms" s.Omqd.Loadgen.max_ms)
+
+let chaos_table () =
+  section "Chaos: journal recovery and fault-ridden serving";
+  (* Two daemons share one journal directory. The first serves a fleet
+     of sessions (opens + acknowledged inserts + evals) through a seeded
+     fault plan that tears read frames and truncates writes at the
+     socket boundary; the second starts cold from the journal alone and
+     must answer every acknowledged session byte-identically. The table
+     reports the replay latency and — the invariant this PR exists for —
+     the number of acknowledged facts the restart lost (must be 0). *)
+  let module P = Omq.Protocol in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match (read_file "data/hand.dl", read_file "data/hand_instance.txt") with
+  | exception Sys_error m ->
+      Fmt.pr "skipped: %s (run from the repository root)@." m
+  | onto, data -> (
+      let query = "q(x) <- Hand(x)" in
+      let extra = "Hand(z_chaos)" in
+      let expected =
+        let tbox = Dl.Parser.parse_tbox onto in
+        let d = Structure.Parse.instance_of_string (data ^ "\n" ^ extra) in
+        let q = Query.Parse.ucq_of_string query in
+        let session = Omq.open_session ~max_extra:2 (Omq.of_tbox tbox q) d in
+        let answers = Omq.Session.certain_answers session in
+        P.render_response
+          (P.Evaled
+             {
+               result =
+                 {
+                   P.consistent = true;
+                   boolean = false;
+                   tuples =
+                     List.map
+                       (List.map (fun e ->
+                            Fmt.str "%a" Structure.Element.pp e))
+                       answers;
+                 };
+               stats = None;
+             })
+      in
+      let pid = Unix.getpid () in
+      let tmp = Filename.get_temp_dir_name () in
+      let dir = Filename.concat tmp (Printf.sprintf "omq-bench-chaos-%d" pid) in
+      let sock n =
+        Filename.concat tmp (Printf.sprintf "omq-bench-chaos-%d-%d.sock" pid n)
+      in
+      let sessions = 6 in
+      let exception Bench_fail of string in
+      try
+        let call c req =
+          match Omqd.Client.call ~retries:4 c req with
+          | Ok r -> r
+          | Error m -> raise (Bench_fail m)
+        in
+        let connect addr =
+          match Omqd.Client.connect addr with
+          | Ok c -> c
+          | Error m -> raise (Bench_fail m)
+        in
+        let stop addr th outcome =
+          (match Omqd.Client.connect ~attempts:5 addr with
+          | Error _ -> ()
+          | Ok c ->
+              ignore (Omqd.Client.call c P.Shutdown);
+              Omqd.Client.close c);
+          Thread.join th;
+          match !outcome with
+          | Ok () -> ()
+          | Error m -> Fmt.pr "daemon exited with error: %s@." m
+        in
+        (* phase 1: a journaled daemon under the fault plan *)
+        let chaos =
+          Omqd.Chaos.create ~seed:2017 ~torn_read:0.25 ~short_write:0.25 ()
+        in
+        let addr1 = Omqd.Daemon.Unix_path (sock 1) in
+        let cfg1 =
+          Omqd.Daemon.config ~addr:addr1 ~jobs:2 ~journal:dir ~chaos ()
+        in
+        let d1 = ref (Ok ()) in
+        let th1 = Thread.create (fun () -> d1 := Omqd.Daemon.run cfg1) () in
+        let c = connect addr1 in
+        let faulted_mismatches = ref 0 in
+        let sids =
+          List.init sessions (fun _ ->
+              match
+                call c (P.Open_session { ontology = onto; data; query; max_extra = 2 })
+              with
+              | P.Opened { session } ->
+                  (match call c (P.Insert_facts { session; facts = extra }) with
+                  | P.Inserted _ -> ()
+                  | r -> raise (Bench_fail (P.render_response r)));
+                  let resp =
+                    call c
+                      (P.Eval { session; budget = P.no_budget; want_stats = false })
+                  in
+                  if P.render_response resp <> expected then
+                    incr faulted_mismatches;
+                  session
+              | r -> raise (Bench_fail (P.render_response r)))
+        in
+        Omqd.Client.close c;
+        stop addr1 th1 d1;
+        let torn, drop_r, short, stall, drop_a, poisoned =
+          Omqd.Chaos.injected chaos
+        in
+        let faults = torn + drop_r + short + stall + drop_a + poisoned in
+        let journal_bytes =
+          try (Unix.stat (Filename.concat dir "omq.journal")).Unix.st_size
+          with Unix.Unix_error _ -> 0
+        in
+        (* phase 2: cold restart from the journal alone *)
+        let t0 = Obs.Clock.now () in
+        let ready_at = ref Float.nan in
+        let addr2 = Omqd.Daemon.Unix_path (sock 2) in
+        let cfg2 = Omqd.Daemon.config ~addr:addr2 ~jobs:2 ~journal:dir () in
+        let d2 = ref (Ok ()) in
+        let th2 =
+          Thread.create
+            (fun () ->
+              d2 :=
+                Omqd.Daemon.run
+                  ~ready:(fun () -> ready_at := Obs.Clock.now ())
+                  cfg2)
+            ()
+        in
+        let c = connect addr2 in
+        let lost =
+          List.fold_left
+            (fun acc session ->
+              let resp =
+                call c
+                  (P.Eval { session; budget = P.no_budget; want_stats = false })
+              in
+              if P.render_response resp = expected then acc else acc + 1)
+            0 sids
+        in
+        Omqd.Client.close c;
+        stop addr2 th2 d2;
+        let recovery_ms =
+          if Float.is_nan !ready_at then Float.nan
+          else 1000.0 *. (!ready_at -. t0)
+        in
+        Fmt.pr
+          "%d session(s), %d fault(s) injected (%d torn reads, %d short \
+           writes), %d mismatch(es) under chaos@."
+          sessions faults torn short !faulted_mismatches;
+        Fmt.pr
+          "restart: replayed %d byte journal in %.1f ms, lost acked facts: \
+           %d@."
+          journal_bytes recovery_ms lost;
+        let m = Obs.Metrics.global () in
+        Obs.Metrics.set_count m "bench.chaos.sessions" sessions;
+        Obs.Metrics.set_count m "bench.chaos.faults_injected" faults;
+        Obs.Metrics.set_count m "bench.chaos.mismatches_under_chaos"
+          !faulted_mismatches;
+        Obs.Metrics.set_count m "bench.chaos.journal_bytes" journal_bytes;
+        Obs.Metrics.set_count m "bench.chaos.lost_acked_facts" lost;
+        Obs.Metrics.set m "bench.chaos.recovery_ms" recovery_ms
+      with Bench_fail m -> Fmt.pr "chaos bench failed: %s@." m)
 
 let thm5_table () =
   section "Theorem 5: the type-based Datalog!= evaluation vs certain answers";
@@ -556,6 +711,7 @@ let () =
     engine_table ();
     parallel_corpus_table ();
     serve_table ();
+    chaos_table ();
     thm5_table ();
     thm8_table ();
     thm10_table ();

@@ -802,23 +802,72 @@ let serve_cmd =
             "Reject request frames longer than $(docv) with a typed \
              frame_too_large error (the connection stays usable).")
   in
-  let run socket host port jobs max_frame (c : common) =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal directory. Every acknowledged open/insert/close is \
+             appended to $(docv)/omq.journal and fsync'd before the \
+             response is sent; on startup the journal is replayed, so a \
+             killed-and-restarted daemon resurrects every live session \
+             with identical certain answers.")
+  in
+  let journal_compact_arg =
+    Arg.(
+      value
+      & opt int Omqd.Daemon.default_journal_compact
+      & info [ "journal-compact" ] ~docv:"BYTES"
+          ~doc:
+            "Compact the journal (one open per live session) once it \
+             exceeds $(docv) bytes; 0 disables compaction.")
+  in
+  let supervise_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "supervise" ] ~docv:"SECONDS"
+          ~doc:
+            "Quarantine a worker domain whose current job has run longer \
+             than $(docv): its in-flight requests fail with the retryable \
+             worker_lost error, a fresh domain is spawned, and its \
+             sessions are replayed.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Shed requests with the retryable overloaded error while \
+             $(docv) jobs are already in flight.")
+  in
+  let max_outbuf_arg =
+    Arg.(
+      value
+      & opt int Omqd.Daemon.default_max_outbuf
+      & info [ "max-outbuf" ] ~docv:"BYTES"
+          ~doc:
+            "Disconnect a client whose unsent responses exceed $(docv) \
+             bytes (a reader that stopped reading).")
+  in
+  let run socket host port jobs max_frame journal journal_compact supervise
+      max_inflight max_outbuf (c : common) =
     run_result @@ fun () ->
     let* addr = addr_of socket host port in
     let cfg =
-      {
-        Omqd.Daemon.addr;
-        jobs;
-        caps =
+      Omqd.Daemon.config ~addr ~jobs
+        ~caps:
           {
             P.timeout_s = c.timeout;
             fuel = c.fuel;
             max_clauses = c.max_clauses;
-          };
-        max_frame;
-        trace = Option.map (fun path -> (c.trace_format, path)) c.trace;
-        log = true;
-      }
+          }
+        ~max_frame
+        ?trace:(Option.map (fun path -> (c.trace_format, path)) c.trace)
+        ~log:true ?journal ~journal_compact ?supervise ?max_inflight
+        ~max_outbuf ~signals:true ()
     in
     let* () = Omqd.Daemon.run cfg in
     Ok 0
@@ -827,14 +876,19 @@ let serve_cmd =
     (Cmd.info "serve" ~exits
        ~doc:
          "Serve the Omq.Protocol wire API (newline-delimited JSON frames) \
-          on a Unix or TCP socket until a shutdown request. Budget flags \
+          on a Unix or TCP socket until a shutdown request, SIGTERM or \
+          SIGINT (both drain gracefully). Budget flags \
           ($(b,--timeout)/$(b,--fuel)/$(b,--max-clauses)) become \
           per-request admission caps: a request asking for more is clamped, \
           a tripped budget degrades that one request to a typed partial \
-          response and the daemon keeps serving.")
+          response and the daemon keeps serving. With $(b,--journal) the \
+          daemon is crash-recoverable (journal-before-ack); with \
+          $(b,--supervise) wedged worker domains are quarantined and \
+          their sessions replayed.")
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ max_frame_arg
-      $ common_term)
+      $ journal_arg $ journal_compact_arg $ supervise_arg $ max_inflight_arg
+      $ max_outbuf_arg $ common_term)
 
 let request_cmd =
   let frames_arg =
@@ -890,6 +944,88 @@ let request_cmd =
           the server's typed error responses.")
     Term.(const run $ socket_arg $ host_arg $ port_arg $ frames_arg)
 
+let loadgen_cmd =
+  let ontology_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"ONTOLOGY" ~doc:"Ontology file (one axiom per line).")
+  in
+  let data_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DATA" ~doc:"Instance file (one fact per line).")
+  in
+  let query_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"UCQ, e.g. 'q(x) <- Thumb(x)'.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "queries" ] ~docv:"M" ~doc:"Evals per client.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 2 & info [ "max-extra" ] ~doc:"Countermodel domain bound.")
+  in
+  let run socket host port ontology data query clients queries max_extra
+      (c : common) =
+    run_result @@ fun () ->
+    let* addr = addr_of socket host port in
+    let* ontology = read_file ontology in
+    let* data = read_file data in
+    let spec =
+      {
+        Omqd.Loadgen.open_req = P.Open_session { ontology; data; query; max_extra };
+        make_eval =
+          (fun ~session ->
+            P.Eval { session; budget = P.no_budget; want_stats = false });
+        expected = None;
+      }
+    in
+    let* s = Omqd.Loadgen.run addr (List.init (max clients 1) (fun _ -> spec)) ~queries in
+    if c.json then
+      print_endline
+        (json_obj
+           [
+             ("clients", string_of_int s.Omqd.Loadgen.clients);
+             ("queries_per_client", string_of_int s.queries_per_client);
+             ("total", string_of_int s.total);
+             ("ok", string_of_int s.ok);
+             ("tripped", string_of_int s.tripped);
+             ("errors", string_of_int s.errors);
+             ("mismatches", string_of_int s.mismatches);
+             ("connect_failures", string_of_int s.connect_failures);
+             ("io_failures", string_of_int s.io_failures);
+             ("seconds", Printf.sprintf "%.6f" s.seconds);
+             ("throughput_rps", Printf.sprintf "%.3f" s.throughput_rps);
+             ("p50_ms", Printf.sprintf "%.3f" s.p50_ms);
+             ("p99_ms", Printf.sprintf "%.3f" s.p99_ms);
+           ])
+    else Fmt.pr "%a@." Omqd.Loadgen.pp_summary s;
+    Ok 0
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~exits
+       ~doc:
+         "Drive closed-loop eval load against a running $(b,serve) daemon: \
+          N clients each open a session and issue M evals back to back. \
+          Per-client connect/IO failures are counted, not fatal — killing \
+          the daemon mid-run still exits 0 with the degradation visible in \
+          the summary, which is what the chaos-smoke CI job measures.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ ontology_arg $ data_arg
+      $ query_arg $ clients_arg $ queries_arg $ bound_arg $ common_term)
+
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in
   let cmd =
@@ -902,6 +1038,7 @@ let () =
         decide_cmd;
         serve_cmd;
         request_cmd;
+        loadgen_cmd;
       ]
   in
   (* Map exits ourselves: cmdliner's defaults (cli_error = 124,

@@ -275,6 +275,8 @@ type error_kind =
   | Unknown_session
   | Frame_too_large
   | Shutting_down
+  | Overloaded
+  | Worker_lost
   | Internal
 
 let error_kind_name = function
@@ -284,6 +286,8 @@ let error_kind_name = function
   | Unknown_session -> "unknown_session"
   | Frame_too_large -> "frame_too_large"
   | Shutting_down -> "shutting_down"
+  | Overloaded -> "overloaded"
+  | Worker_lost -> "worker_lost"
   | Internal -> "internal"
 
 let error_kind_of_name = function
@@ -293,8 +297,22 @@ let error_kind_of_name = function
   | "unknown_session" -> Some Unknown_session
   | "frame_too_large" -> Some Frame_too_large
   | "shutting_down" -> Some Shutting_down
+  | "overloaded" -> Some Overloaded
+  | "worker_lost" -> Some Worker_lost
   | "internal" -> Some Internal
   | _ -> None
+
+(* A retryable rejection is the daemon's promise that the request had no
+   effect: it was shed before submission ([Overloaded]) or its worker was
+   quarantined before any session-table effect was applied
+   ([Worker_lost]). Resending the same frame — same id — is therefore
+   safe, which is the idempotency contract {!Client.call}'s retry loop
+   relies on. *)
+let retryable = function
+  | Overloaded | Worker_lost -> true
+  | Bad_frame | Bad_version | Bad_request | Unknown_session | Frame_too_large
+  | Shutting_down | Internal ->
+      false
 
 type response =
   | Opened of { session : int }

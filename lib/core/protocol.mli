@@ -113,10 +113,23 @@ type error_kind =
   | Unknown_session
   | Frame_too_large  (** longer than the daemon's [--max-frame] *)
   | Shutting_down
+  | Overloaded
+      (** shed at admission: the daemon's in-flight cap was exceeded and
+          the request was never submitted to a worker — retryable *)
+  | Worker_lost
+      (** the worker domain serving the request (or holding its session)
+          was quarantined before the request took effect — retryable *)
   | Internal
 
 val error_kind_name : error_kind -> string
 val error_kind_of_name : string -> error_kind option
+
+(** Whether a rejection of this kind is safe to retry by resending the
+    same frame (same ["id"]): [true] exactly for {!Overloaded} and
+    {!Worker_lost}, which the daemon only emits for requests that had no
+    effect. This is the idempotency contract behind [Client]'s retry
+    loop. *)
+val retryable : error_kind -> bool
 
 type response =
   | Opened of { session : int }

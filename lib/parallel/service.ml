@@ -1,18 +1,33 @@
 (* Per-worker mailbox domains with a shared completion queue.
 
-   Memory model: a mailbox (queue, stop flag) is only touched under its
-   worker's mutex; the completion queue and the crash list only under
-   [cmutex]. [in_flight] is an atomic incremented at submit and
-   decremented after the completion (or crash) is recorded, so the owner
-   observing [in_flight = 0] after a drain knows no result is still in
-   transit. The wakeup callback fires after both writes — an owner woken
-   by it sees the completion. *)
+   Memory model: a mailbox (queue, stop/abandoned flags, busy_since) is
+   only touched under its worker's mutex; the completion queue and the
+   crash list only under [cmutex]. [in_flight] is an atomic incremented
+   at submit and decremented after the completion (or crash) is recorded
+   — or, for jobs lost to [replace], decremented by [replace] itself —
+   so the owner observing [in_flight = 0] after a drain knows no result
+   is still in transit. The wakeup callback fires after both writes — an
+   owner woken by it sees the completion.
+
+   Supervision: a worker stamps [busy_since] (with the owner-supplied
+   [clock]) when it pops a job and clears it when the job ends, both
+   under its mailbox mutex, so the owner can detect a wedged or dead
+   worker by comparing [busy_since] against a deadline. [replace]
+   abandons such a worker: its mailbox is marked abandoned (a late
+   result from the old domain is dropped, not double-counted), its
+   queued jobs are discarded and accounted out of [in_flight], and a
+   fresh domain with a fresh mailbox takes over the index. The old
+   domain cannot be killed — OCaml domains are not cancellable — so a
+   truly wedged one is leaked (never joined); an idle or eventually
+   finishing one exits its loop on the abandoned flag. *)
 
 type 'r mailbox = {
   mutex : Mutex.t;
   cond : Condition.t;
   queue : (unit -> 'r) Queue.t;
   mutable stop : bool;
+  mutable abandoned : bool;
+  mutable busy_since : float;  (** [clock ()] at job start; negative when idle *)
 }
 
 type 'r t = {
@@ -23,53 +38,74 @@ type 'r t = {
   crashes : (exn * Printexc.raw_backtrace) Queue.t;
   in_flight : int Atomic.t;
   wakeup : unit -> unit;
+  clock : unit -> float;
   mutable workers : unit Domain.t array;
+  mutable abandoned_workers : unit Domain.t list;
+  mutable replaced : int;
   mutable stopped : bool;
 }
 
 let jobs t = t.njobs
+let replaced t = t.replaced
 
 let worker_loop t box =
   let rec loop () =
     Mutex.lock box.mutex;
-    while Queue.is_empty box.queue && not box.stop do
+    while Queue.is_empty box.queue && not (box.stop || box.abandoned) do
       Condition.wait box.cond box.mutex
     done;
-    if Queue.is_empty box.queue then begin
-      (* stop, and the mailbox is drained *)
+    if box.abandoned || Queue.is_empty box.queue then begin
+      (* abandoned, or stop with a drained mailbox *)
       Mutex.unlock box.mutex
     end
     else begin
       let job = Queue.pop box.queue in
+      box.busy_since <- t.clock ();
       Mutex.unlock box.mutex;
-      (match job () with
-      | r ->
-          Mutex.lock t.cmutex;
-          Queue.push r t.completions;
-          Mutex.unlock t.cmutex
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock t.cmutex;
-          Queue.push (e, bt) t.crashes;
-          Mutex.unlock t.cmutex);
-      Atomic.decr t.in_flight;
-      t.wakeup ();
-      loop ()
+      let outcome =
+        match job () with
+        | r -> Ok r
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      (* Clearing busy and checking abandonment must be one critical
+         section: [replace] decides under the same mutex whether the
+         running job counts as lost, so exactly one side accounts it. *)
+      Mutex.lock box.mutex;
+      box.busy_since <- -1.0;
+      let dropped = box.abandoned in
+      Mutex.unlock box.mutex;
+      if dropped then ()
+      else begin
+        (match outcome with
+        | Ok r ->
+            Mutex.lock t.cmutex;
+            Queue.push r t.completions;
+            Mutex.unlock t.cmutex
+        | Error (e, bt) ->
+            Mutex.lock t.cmutex;
+            Queue.push (e, bt) t.crashes;
+            Mutex.unlock t.cmutex);
+        Atomic.decr t.in_flight;
+        t.wakeup ();
+        loop ()
+      end
     end
   in
   loop ()
 
-let create ~jobs ~wakeup () =
+let fresh_box () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    stop = false;
+    abandoned = false;
+    busy_since = -1.0;
+  }
+
+let create ~jobs ~wakeup ?(clock = fun () -> 0.0) () =
   let njobs = max jobs 1 in
-  let boxes =
-    Array.init njobs (fun _ ->
-        {
-          mutex = Mutex.create ();
-          cond = Condition.create ();
-          queue = Queue.create ();
-          stop = false;
-        })
-  in
+  let boxes = Array.init njobs (fun _ -> fresh_box ()) in
   let t =
     {
       njobs;
@@ -79,7 +115,10 @@ let create ~jobs ~wakeup () =
       crashes = Queue.create ();
       in_flight = Atomic.make 0;
       wakeup;
+      clock;
       workers = [||];
+      abandoned_workers = [];
+      replaced = 0;
       stopped = false;
     }
   in
@@ -87,14 +126,43 @@ let create ~jobs ~wakeup () =
     Array.map (fun box -> Domain.spawn (fun () -> worker_loop t box)) boxes;
   t
 
+let norm t worker = ((worker mod t.njobs) + t.njobs) mod t.njobs
+
 let submit t ~worker job =
   if t.stopped then invalid_arg "Parallel.Service: service is shut down";
-  let box = t.boxes.(((worker mod t.njobs) + t.njobs) mod t.njobs) in
+  let box = t.boxes.(norm t worker) in
   Atomic.incr t.in_flight;
   Mutex.lock box.mutex;
   Queue.push job box.queue;
   Condition.signal box.cond;
   Mutex.unlock box.mutex
+
+let busy_since t ~worker =
+  let box = t.boxes.(norm t worker) in
+  Mutex.lock box.mutex;
+  let v = box.busy_since in
+  Mutex.unlock box.mutex;
+  if v >= 0.0 then Some v else None
+
+let replace t ~worker =
+  if t.stopped then invalid_arg "Parallel.Service: service is shut down";
+  let w = norm t worker in
+  let old = t.boxes.(w) in
+  Mutex.lock old.mutex;
+  old.abandoned <- true;
+  let running = old.busy_since >= 0.0 in
+  let queued = Queue.length old.queue in
+  Queue.clear old.queue;
+  Condition.broadcast old.cond;
+  Mutex.unlock old.mutex;
+  let lost = queued + if running then 1 else 0 in
+  if lost > 0 then ignore (Atomic.fetch_and_add t.in_flight (-lost));
+  let box = fresh_box () in
+  t.boxes.(w) <- box;
+  t.abandoned_workers <- t.workers.(w) :: t.abandoned_workers;
+  t.workers.(w) <- Domain.spawn (fun () -> worker_loop t box);
+  t.replaced <- t.replaced + 1;
+  lost
 
 let drain t =
   Mutex.lock t.cmutex;
@@ -119,6 +187,8 @@ let shutdown t =
         Mutex.unlock box.mutex)
       t.boxes;
     Array.iter Domain.join t.workers;
+    (* Abandoned domains are not joined: a wedged one would block
+       forever. Finished ones are reclaimed at process exit. *)
     t.workers <- [||];
     Mutex.lock t.cmutex;
     let crash = if Queue.is_empty t.crashes then None else Some (Queue.pop t.crashes) in

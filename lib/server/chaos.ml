@@ -1,0 +1,93 @@
+(* One Random.State drives every decision, in consultation order. The
+   daemon's event loop is single-threaded, so consultations are totally
+   ordered and a (seed, workload) pair replays exactly. [poison_now] is
+   also called from the event loop (at submit time, not on the worker),
+   keeping that ordering intact. *)
+
+type t = {
+  rng : Random.State.t;
+  torn_read : float;
+  drop_read : float;
+  short_write : float;
+  stall_write : float;
+  drop_accept : float;
+  mutable poison : (int * int) option;  (* remaining job starts, worker *)
+  mutable n_torn : int;
+  mutable n_drop_read : int;
+  mutable n_short : int;
+  mutable n_stall : int;
+  mutable n_drop_accept : int;
+  mutable n_poisoned : int;
+}
+
+let create ~seed ?(torn_read = 0.) ?(drop_read = 0.) ?(short_write = 0.)
+    ?(stall_write = 0.) ?(drop_accept = 0.) ?poison () =
+  {
+    rng = Random.State.make [| seed |];
+    torn_read;
+    drop_read;
+    short_write;
+    stall_write;
+    drop_accept;
+    poison;
+    n_torn = 0;
+    n_drop_read = 0;
+    n_short = 0;
+    n_stall = 0;
+    n_drop_accept = 0;
+    n_poisoned = 0;
+  }
+
+let hit t p = p > 0. && Random.State.float t.rng 1.0 < p
+
+let on_read t ~avail =
+  if hit t t.drop_read then begin
+    t.n_drop_read <- t.n_drop_read + 1;
+    `Drop
+  end
+  else if avail > 1 && hit t t.torn_read then begin
+    t.n_torn <- t.n_torn + 1;
+    `Deliver (1 + Random.State.int t.rng (avail - 1))
+  end
+  else `Deliver avail
+
+let on_write t ~len =
+  if hit t t.stall_write then begin
+    t.n_stall <- t.n_stall + 1;
+    `Stall
+  end
+  else if len > 1 && hit t t.short_write then begin
+    t.n_short <- t.n_short + 1;
+    `Write (1 + Random.State.int t.rng (len - 1))
+  end
+  else `Write len
+
+let on_accept t =
+  if hit t t.drop_accept then begin
+    t.n_drop_accept <- t.n_drop_accept + 1;
+    `Drop
+  end
+  else `Accept
+
+let poison_now t ~worker =
+  match t.poison with
+  | Some (0, w) when w = worker ->
+      t.poison <- None;
+      t.n_poisoned <- t.n_poisoned + 1;
+      true
+  | Some (n, w) when w = worker ->
+      t.poison <- Some (n - 1, w);
+      false
+  | _ -> false
+
+let block () =
+  let m = Mutex.create () and c = Condition.create () in
+  Mutex.lock m;
+  let rec wait () =
+    Condition.wait c m;
+    wait ()
+  in
+  wait ()
+
+let injected t =
+  (t.n_torn, t.n_drop_read, t.n_short, t.n_stall, t.n_drop_accept, t.n_poisoned)

@@ -1,0 +1,68 @@
+(** Deterministic fault injection at the daemon's I/O boundary — the
+    serving-layer twin of [Reasoner.Budget.inject_after].
+
+    A plan is a seeded decision stream: given the same seed and the same
+    sequence of decision points (reads, writes, accepts, job starts),
+    it injects the same faults. The daemon consults it at each boundary
+    and obeys; the plan never touches sockets itself, so every fault is
+    reproducible from the seed alone and tests can assert exact
+    recovery behaviour without sleeps or timing races.
+
+    Fault classes, each an independent probability in [0,1]:
+    - {e torn reads} — deliver only a prefix of the bytes a [read]
+      returned; the rest is withheld and re-delivered on the next
+      wakeup, exercising frames split across [select] iterations;
+    - {e dropped reads} — treat the connection as EOF mid-request;
+    - {e short writes} — accept only a prefix of an output flush
+      (at least 1 byte, so progress is guaranteed);
+    - {e stalled writes} — accept 0 bytes, simulating a reader that
+      stopped draining (exercises the bounded-outbuf disconnect);
+    - {e dropped accepts} — close an incoming connection immediately;
+    - {e poisoned jobs} — after [n] job starts on a given worker, wedge
+      that worker forever (exercises supervision + replay).
+
+    All decisions come from one [Random.State] seeded with [seed], so a
+    plan is a value: pass the same plan description to a test twice and
+    the daemon misbehaves identically. *)
+
+type t
+
+(** [create ~seed ()] with all rates 0 and no poisoning injects
+    nothing. [poison = (n, worker)] wedges [worker]'s [n+1]-th job. *)
+val create :
+  seed:int ->
+  ?torn_read:float ->
+  ?drop_read:float ->
+  ?short_write:float ->
+  ?stall_write:float ->
+  ?drop_accept:float ->
+  ?poison:int * int ->
+  unit ->
+  t
+
+(** Decision for a read that returned [avail] bytes ([avail >= 1]):
+    deliver a prefix of [k] bytes (the caller stashes the remainder for
+    the next iteration), or drop the connection as if EOF. [`Deliver
+    avail] is the no-fault outcome. *)
+val on_read : t -> avail:int -> [ `Deliver of int | `Drop ]
+
+(** Decision for a flush of [len] pending bytes ([len >= 1]): let the
+    socket accept [k >= 1] bytes, stall (accept 0, as a full kernel
+    buffer would), or drop the connection. [`Write len] is the no-fault
+    outcome. *)
+val on_write : t -> len:int -> [ `Write of int | `Stall | `Drop ]
+
+(** Whether to accept the incoming connection or close it immediately. *)
+val on_accept : t -> [ `Accept | `Drop ]
+
+(** Called by the daemon as each job starts on [worker]; [true] means
+    the job must wedge (call {!block}). Fires at most once. *)
+val poison_now : t -> worker:int -> bool
+
+(** Block the calling thread forever (a [Condition.wait] nobody ever
+    signals) — what a poisoned job does. Never returns. *)
+val block : unit -> 'a
+
+(** Faults injected so far, for metrics: [(torn_reads, drop_reads,
+    short_writes, stall_writes, drop_accepts, poisoned)]. *)
+val injected : t -> int * int * int * int * int * int

@@ -7,6 +7,16 @@ type t = {
   mutable closed : bool;
 }
 
+(* Jittered exponential backoff: attempt [n] sleeps uniformly in
+   [d/2, d] for d = min(1s, base * 2^n) — equal jitter, so concurrent
+   clients spread out instead of thundering back in lockstep. *)
+let rng = lazy (Random.State.make_self_init ())
+
+let backoff_sleep ~base n =
+  let d = Float.min 1.0 (base *. (2.0 ** float_of_int n)) in
+  let r = Random.State.float (Lazy.force rng) 1.0 in
+  Unix.sleepf ((d /. 2.) +. (r *. d /. 2.))
+
 let sockaddr_of = function
   | Daemon.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
   | Daemon.Tcp (host, port) ->
@@ -16,7 +26,7 @@ let sockaddr_of = function
       in
       (Unix.PF_INET, Unix.ADDR_INET (ip, port))
 
-let connect ?(attempts = 50) addr =
+let connect ?(attempts = 50) ?(base_delay = 0.02) addr =
   match sockaddr_of addr with
   | exception Not_found -> Error (Fmt.str "cannot resolve %a" Daemon.pp_addr addr)
   | domain, sa ->
@@ -33,16 +43,16 @@ let connect ?(attempts = 50) addr =
                   true
               | _ -> false
             in
-            if retryable && n > 1 then begin
-              Unix.sleepf 0.1;
-              go (n - 1)
+            if retryable && n < attempts - 1 then begin
+              backoff_sleep ~base:base_delay n;
+              go (n + 1)
             end
             else
               Error
                 (Fmt.str "connect %a: %s" Daemon.pp_addr addr
                    (Unix.error_message e))
       in
-      go (max attempts 1)
+      go 0
 
 let close t =
   if not t.closed then begin
@@ -92,15 +102,27 @@ let raw t line =
   let* () = write_all t (line ^ "\n") in
   read_line t
 
-let call t req =
+(* Retryable rejections (overloaded / worker_lost) are the daemon's
+   promise that the request had no effect; resending the {e same} frame
+   — same id — is the idempotent retry the protocol contract allows. *)
+let call ?(retries = 0) ?(base_delay = 0.02) t req =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let* () = write_all t (P.render_request ~id req ^ "\n") in
-  let rec await () =
-    let* line = read_line t in
-    match P.parse_response line with
-    | Ok (Some rid, resp) when rid = id -> Ok resp
-    | Ok (_, _) -> await ()
-    | Error (_, (_, msg)) -> Error (Fmt.str "bad response frame: %s" msg)
+  let frame = P.render_request ~id req ^ "\n" in
+  let rec attempt n =
+    let* () = write_all t frame in
+    let rec await () =
+      let* line = read_line t in
+      match P.parse_response line with
+      | Ok (Some rid, resp) when rid = id -> Ok resp
+      | Ok (_, _) -> await ()
+      | Error (_, (_, msg)) -> Error (Fmt.str "bad response frame: %s" msg)
+    in
+    let* resp = await () in
+    match resp with
+    | P.Rejected { kind; _ } when P.retryable kind && n < retries ->
+        backoff_sleep ~base:base_delay n;
+        attempt (n + 1)
+    | _ -> Ok resp
   in
-  await ()
+  attempt 0

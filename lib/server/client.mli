@@ -6,14 +6,31 @@
 
 type t
 
-(** [connect addr] dials the daemon. [attempts] (default 50) retries a
-    refused/missing endpoint every 100 ms — daemons start
-    asynchronously. *)
-val connect : ?attempts:int -> Daemon.addr -> (t, string) result
+(** [connect addr] dials the daemon. Refused/missing endpoints are
+    retried up to [attempts] times (default 50) with jittered
+    exponential backoff: attempt [n] sleeps uniformly in [[d/2, d]] for
+    [d = min 1.0 (base_delay * 2^n)] ([base_delay] default 0.02 s) —
+    daemons start asynchronously, and jitter keeps a fleet of clients
+    from reconnecting in lockstep. *)
+val connect :
+  ?attempts:int -> ?base_delay:float -> Daemon.addr -> (t, string) result
 
 (** Send [request], return the matching decoded response. [Error] on
-    I/O failure, EOF, or an undecodable frame. *)
-val call : t -> Omq.Protocol.request -> (Omq.Protocol.response, string) result
+    I/O failure, EOF, or an undecodable frame.
+
+    A {!Omq.Protocol.retryable} rejection ([overloaded] /
+    [worker_lost]) is the daemon's promise that the request had no
+    effect; with [retries > 0] (default 0) such a rejection is retried
+    up to that many times by resending the {e same} frame — same id —
+    after the same jittered backoff as {!connect}. The first
+    non-retryable response (or the last retryable one when retries run
+    out) is returned. *)
+val call :
+  ?retries:int ->
+  ?base_delay:float ->
+  t ->
+  Omq.Protocol.request ->
+  (Omq.Protocol.response, string) result
 
 (** Escape hatch for protocol testing: send [line] verbatim (one frame;
     the newline is appended) and return the next response line raw. *)

@@ -1,19 +1,33 @@
 (* The serve event loop.
 
    Single-owner architecture: this domain owns the listening socket,
-   every connection, the session table and the served/error counters —
-   no lock guards any of them. The only concurrency is the
-   [Parallel.Service]: jobs run on worker domains and come back through
-   its completion queue, which the loop drains at the top of every
-   iteration; a one-byte self-pipe write (the service's [wakeup]) makes
-   [select] return promptly when a completion lands.
+   every connection, the session table, the journal and the
+   served/error counters — no lock guards any of them. The only
+   concurrency is the [Parallel.Service]: jobs run on worker domains
+   and come back through its completion queue, which the loop drains at
+   the top of every iteration; a one-byte self-pipe write (the
+   service's [wakeup]) makes [select] return promptly when a completion
+   lands.
 
    Sticky routing: a session's worker index is chosen round-robin at
    [open_session] and stored in the session record; every subsequent
    [eval] / [insert_facts] for it is submitted to that same mailbox.
    Combined with the per-mailbox FIFO this serialises all work of one
    session on one domain — required, because the engines live in that
-   domain's DLS and are not movable. *)
+   domain's DLS and are not movable.
+
+   Crash-only discipline: every state-changing acknowledgement (open /
+   insert / close) is journalled and fsync'd *before* the response
+   bytes are queued (journal-before-ack), so after a kill -9 the
+   journal replay reconstructs exactly the acknowledged state — an
+   operation that was journalled but not acked is replayed harmlessly
+   (the client never saw the ack and retries); one acked but not
+   journalled cannot exist. Worker supervision rides the same
+   machinery: a wedged worker domain is abandoned
+   ([Parallel.Service.replace]), its in-flight requests fail with the
+   retryable [Worker_lost], and its sessions are rebuilt on the fresh
+   domain from their in-memory logs (the journal's mirror, kept even
+   when no --journal is configured). *)
 
 module P = Omq.Protocol
 module S = Reasoner.Stats
@@ -31,9 +45,44 @@ type config = {
   max_frame : int;
   trace : (Obs.Export.format * string) option;
   log : bool;
+  journal : string option;
+  journal_compact : int;
+  supervise : float option;
+  max_inflight : int option;
+  max_outbuf : int;
+  shutdown_grace : float;
+  signals : bool;
+  chaos : Chaos.t option;
 }
 
 let default_max_frame = 8 * 1024 * 1024
+let default_max_outbuf = 64 * 1024 * 1024
+let default_journal_compact = 1024 * 1024
+let default_shutdown_grace = 10.0
+
+let config ~addr ?(jobs = 1) ?(caps = P.no_budget)
+    ?(max_frame = default_max_frame) ?trace ?(log = false) ?journal
+    ?(journal_compact = default_journal_compact) ?supervise ?max_inflight
+    ?(max_outbuf = default_max_outbuf)
+    ?(shutdown_grace = default_shutdown_grace) ?(signals = false) ?chaos () =
+  {
+    addr;
+    jobs;
+    caps;
+    max_frame;
+    trace;
+    log;
+    journal;
+    journal_compact;
+    supervise;
+    max_inflight;
+    max_outbuf;
+    shutdown_grace;
+    signals;
+    chaos;
+  }
+
+let metric ?by name = Obs.Metrics.incr ?by (Obs.Metrics.global ()) name
 
 (* ------------------------------------------------------------------ *)
 (* Serving state *)
@@ -43,6 +92,10 @@ type sess = {
   session : Omq.session;
   worker : int;  (** the one domain allowed to touch this session *)
   max_extra : int;
+  mutable log : Journal.entry list;
+      (** newest first; the head is the entry that acknowledges the
+          latest state change, the reverse of the whole list is the
+          session's replayable history *)
 }
 
 (* Session-table effect a completed job carries back to the loop. [New]
@@ -52,8 +105,7 @@ type sess = {
 type reg = New of int * sess | Refresh of int * sess
 
 type completion = {
-  conn_id : int;
-  rid : int option;
+  token : int;
   resp : P.response;
   register : reg option;
   worker : int;
@@ -61,10 +113,25 @@ type completion = {
   trace : Obs.Trace.t option;
 }
 
+(* What the loop remembers about a submitted job. A completion whose
+   token is no longer here was already failed by a quarantine — its
+   (impossible, see Service's abandonment protocol) late result must be
+   dropped, not double-answered. [replay_sid] marks journal/log replay
+   jobs: no journalling, no response, just session resurrection. *)
+type pend = {
+  conn_id : int;  (** -1 for replay jobs *)
+  rid : int option;
+  worker : int;
+  replay_sid : int option;
+}
+
 type conn = {
   id : int;
   fd : Unix.file_descr;
   inbuf : Buffer.t;
+  stash : Buffer.t;
+      (** chaos only: bytes read but withheld by a torn-read fault,
+          delivered (possibly torn again) on later loop iterations *)
   mutable discarding : bool;  (** inside an oversized line: drop to \n *)
   mutable out : string;
   mutable outpos : int;
@@ -76,10 +143,16 @@ type state = {
   tracing : bool;
   sessions : (int, sess) Hashtbl.t;
   conns : (int, conn) Hashtbl.t;
+  pending : (int, pend) Hashtbl.t;  (** token -> submitted job *)
+  replaying : (int, unit) Hashtbl.t;
+      (** sids being rebuilt after a quarantine or at startup; requests
+          for them are rejected with the retryable [Worker_lost] *)
   worker_stats : S.t array;
   start_s : float;
+  mutable journal : Journal.t option;
   mutable next_sid : int;
   mutable next_conn_id : int;
+  mutable next_token : int;
   mutable rr : int;
   mutable served : int;
   mutable errors : int;
@@ -91,7 +164,7 @@ type state = {
 (* Output: per-connection pending string + cursor, flushed as far as the
    socket accepts; the loop selects-for-write while any remains. *)
 
-let pending conn = String.length conn.out > conn.outpos
+let pending_out conn = String.length conn.out > conn.outpos
 
 let close_conn st conn =
   Hashtbl.remove st.conns conn.id;
@@ -100,14 +173,26 @@ let close_conn st conn =
 let rec try_flush st conn =
   let len = String.length conn.out - conn.outpos in
   if len > 0 then
-    match Unix.write_substring conn.fd conn.out conn.outpos len with
-    | 0 -> ()
-    | n ->
-        conn.outpos <- conn.outpos + n;
-        try_flush st conn
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush st conn
-    | exception Unix.Unix_error _ -> close_conn st conn
+    let decision =
+      match st.cfg.chaos with
+      | None -> `Write len
+      | Some ch -> Chaos.on_write ch ~len
+    in
+    match decision with
+    | `Stall -> ()
+    | `Drop -> close_conn st conn
+    | `Write k -> (
+        match Unix.write_substring conn.fd conn.out conn.outpos k with
+        | 0 -> ()
+        | n ->
+            conn.outpos <- conn.outpos + n;
+            (* after a chaos short write, stop: the remainder waits for
+               the next select-for-write, like a real partial write *)
+            if n = k && k = len then try_flush st conn
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush st conn
+        | exception Unix.Unix_error _ -> close_conn st conn)
 
 let respond st conn rid resp =
   st.served <- st.served + 1;
@@ -119,7 +204,17 @@ let respond st conn rid resp =
   in
   conn.out <- rest ^ line;
   conn.outpos <- 0;
-  try_flush st conn
+  try_flush st conn;
+  (* A reader that stopped draining must not grow our heap without
+     bound: past the cap the connection is shed. Its session (if any)
+     stays live — only the transport is dropped. *)
+  if
+    Hashtbl.mem st.conns conn.id
+    && String.length conn.out - conn.outpos > st.cfg.max_outbuf
+  then begin
+    metric "serve.shed.slow_disconnects";
+    close_conn st conn
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Input loading from request payload strings; the same error-message
@@ -198,15 +293,33 @@ let outcome_of = function
   | P.Rejected _ -> "error"
   | _ -> "ok"
 
-let submit_job st conn rid ~worker ~op make =
-  let conn_id = conn.id in
+let new_token st =
+  let t = st.next_token in
+  st.next_token <- t + 1;
+  t
+
+(* Submit a job and remember it in the pending table. [conn_id = -1]
+   with [replay_sid = Some _] is a replay job: it answers nobody, it
+   just rebuilds a session. Chaos worker poisoning hooks in here — the
+   decision is taken on the loop domain (keeping the fault plan's
+   decision stream totally ordered); the poisoned job wedges forever,
+   exactly what supervision must detect. Replay jobs are never
+   poisoned: recovery must make progress. *)
+let submit_raw st ~conn_id ~rid ~worker ~replay_sid ~op make =
+  let token = new_token st in
+  Hashtbl.replace st.pending token { conn_id; rid; worker; replay_sid };
   let tracing = st.tracing in
+  let make =
+    match st.cfg.chaos with
+    | Some ch when replay_sid = None && Chaos.poison_now ch ~worker ->
+        fun () -> Chaos.block ()
+    | _ -> make
+  in
   Parallel.Service.submit st.service ~worker (fun () ->
       let job () =
         try make () with
         | e ->
-            ( P.Rejected
-                { kind = P.Internal; message = Printexc.to_string e },
+            ( P.Rejected { kind = P.Internal; message = Printexc.to_string e },
               None )
       in
       let (resp, register), trace =
@@ -225,7 +338,10 @@ let submit_job st conn rid ~worker ~op make =
           (r, Some col)
         else (job (), None)
       in
-      { conn_id; rid; resp; register; worker; wstats = S.copy (S.global ()); trace })
+      { token; resp; register; worker; wstats = S.copy (S.global ()); trace })
+
+let submit_job st conn rid ~worker ~op make =
+  submit_raw st ~conn_id:conn.id ~rid ~worker ~replay_sid:None ~op make
 
 let open_job ~sid ~worker ~ontology ~data ~query ~max_extra () =
   let ( let* ) r f =
@@ -238,7 +354,9 @@ let open_job ~sid ~worker ~ontology ~data ~query ~max_extra () =
   let* q = load_query_text query in
   let omq = Omq.of_tbox tbox q in
   let session = Omq.open_session ~max_extra omq inst in
-  (P.Opened { session = sid }, Some (New (sid, { omq; session; worker; max_extra })))
+  let log = [ Journal.Open { sid; ontology; data; query; max_extra } ] in
+  ( P.Opened { session = sid },
+    Some (New (sid, { omq; session; worker; max_extra; log })) )
 
 let eval_job st (se : sess) (want : P.budget_spec) want_stats () =
   let budget = budget_of_spec (clamp st.cfg.caps want) in
@@ -310,7 +428,55 @@ let insert_job (se : sess) sid facts () =
       let union = Structure.Instance.union (Omq.Session.instance se.session) extra in
       let session = Omq.open_session ~max_extra:se.max_extra se.omq union in
       ( P.Inserted { session = sid; total_facts = Structure.Instance.cardinal union },
-        Some (Refresh (sid, { se with session })) )
+        Some
+          (Refresh
+             ( sid,
+               { se with session; log = Journal.Insert { sid; facts } :: se.log }
+             )) )
+
+(* ------------------------------------------------------------------ *)
+(* Journal plumbing (all on the loop domain) *)
+
+let journal_append st entry =
+  match st.journal with
+  | None -> Ok ()
+  | Some j -> (
+      try
+        Journal.append j entry;
+        metric "serve.journal.appends";
+        Ok ()
+      with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* A session's whole history folded to one Open on its union data —
+   what compaction writes and what replay re-opens. *)
+let folded_entry sid (se : sess) =
+  match Journal.live_sessions (List.rev se.log) with
+  | [ (_, (ontology, data, query, max_extra), _) ] ->
+      Journal.Open { sid; ontology; data; query; max_extra }
+  | _ -> Journal.Open { sid; ontology = ""; data = ""; query = ""; max_extra = 0 }
+
+let maybe_compact st =
+  match st.journal with
+  | Some j
+    when st.cfg.journal_compact > 0 && Journal.size j > st.cfg.journal_compact
+    -> (
+      let sids =
+        List.sort compare
+          (Hashtbl.fold (fun sid _ acc -> sid :: acc) st.sessions [])
+      in
+      let folded =
+        List.map (fun sid -> (sid, folded_entry sid (Hashtbl.find st.sessions sid))) sids
+      in
+      try
+        Journal.compact j (List.map snd folded);
+        List.iter
+          (fun (sid, e) -> (Hashtbl.find st.sessions sid).log <- [ e ])
+          folded;
+        metric "serve.journal.compactions"
+      with Unix.Unix_error (e, _, _) ->
+        if st.cfg.log then
+          Fmt.epr "omqd: journal compaction failed: %s@." (Unix.error_message e))
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch (on the loop domain) *)
@@ -320,6 +486,13 @@ let unknown_session sid =
     {
       kind = P.Unknown_session;
       message = Printf.sprintf "no session %d" sid;
+    }
+
+let replay_pending sid =
+  P.Rejected
+    {
+      kind = P.Worker_lost;
+      message = Printf.sprintf "session %d is being replayed; retry" sid;
     }
 
 let server_stats st =
@@ -339,41 +512,75 @@ let next_worker st =
   st.rr <- st.rr + 1;
   w
 
-let shutdown_grace_s = 10.0
+(* Admission control: shed rather than queue without bound. The
+   rejection is [Overloaded] — retryable, the request was never
+   submitted. *)
+let shed st =
+  match st.cfg.max_inflight with
+  | Some cap when Parallel.Service.in_flight st.service >= cap ->
+      metric "serve.shed.overloaded";
+      true
+  | _ -> false
+
+let overloaded =
+  P.Rejected { kind = P.Overloaded; message = "server overloaded; retry" }
 
 let dispatch st conn rid (req : P.request) =
   match req with
   | P.Open_session { ontology; data; query; max_extra } ->
-      let sid = st.next_sid in
-      st.next_sid <- sid + 1;
-      let worker = next_worker st in
-      submit_job st conn rid ~worker ~op:"open_session"
-        (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
+      if shed st then respond st conn rid overloaded
+      else begin
+        let sid = st.next_sid in
+        st.next_sid <- sid + 1;
+        let worker = next_worker st in
+        submit_job st conn rid ~worker ~op:"open_session"
+          (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
+      end
   | P.Close_session { session } ->
-      if Hashtbl.mem st.sessions session then begin
-        Hashtbl.remove st.sessions session;
-        respond st conn rid (P.Closed { session })
+      if Hashtbl.mem st.replaying session then
+        respond st conn rid (replay_pending session)
+      else if Hashtbl.mem st.sessions session then begin
+        match journal_append st (Journal.Close { sid = session }) with
+        | Ok () ->
+            Hashtbl.remove st.sessions session;
+            respond st conn rid (P.Closed { session })
+        | Error msg ->
+            respond st conn rid
+              (P.Rejected
+                 { kind = P.Internal; message = "journal append failed: " ^ msg })
       end
       else respond st conn rid (unknown_session session)
   | P.Eval { session; budget; want_stats } -> (
-      match Hashtbl.find_opt st.sessions session with
-      | None -> respond st conn rid (unknown_session session)
-      | Some se ->
-          submit_job st conn rid ~worker:se.worker ~op:"eval"
-            (eval_job st se budget want_stats))
+      if Hashtbl.mem st.replaying session then
+        respond st conn rid (replay_pending session)
+      else
+        match Hashtbl.find_opt st.sessions session with
+        | None -> respond st conn rid (unknown_session session)
+        | Some se ->
+            if shed st then respond st conn rid overloaded
+            else
+              submit_job st conn rid ~worker:se.worker ~op:"eval"
+                (eval_job st se budget want_stats))
   | P.Classify { ontology } ->
-      submit_job st conn rid ~worker:(next_worker st) ~op:"classify"
-        (classify_job ontology)
+      if shed st then respond st conn rid overloaded
+      else
+        submit_job st conn rid ~worker:(next_worker st) ~op:"classify"
+          (classify_job ontology)
   | P.Insert_facts { session; facts } -> (
-      match Hashtbl.find_opt st.sessions session with
-      | None -> respond st conn rid (unknown_session session)
-      | Some se ->
-          submit_job st conn rid ~worker:se.worker ~op:"insert_facts"
-            (insert_job se session facts))
+      if Hashtbl.mem st.replaying session then
+        respond st conn rid (replay_pending session)
+      else
+        match Hashtbl.find_opt st.sessions session with
+        | None -> respond st conn rid (unknown_session session)
+        | Some se ->
+            if shed st then respond st conn rid overloaded
+            else
+              submit_job st conn rid ~worker:se.worker ~op:"insert_facts"
+                (insert_job se session facts))
   | P.Stats -> respond st conn rid (server_stats st)
   | P.Shutdown ->
       st.shutting <- true;
-      st.shut_deadline <- Obs.Clock.now () +. shutdown_grace_s;
+      st.shut_deadline <- Obs.Clock.now () +. st.cfg.shutdown_grace;
       respond st conn rid P.Shutdown_ack
 
 let handle_frame st conn line =
@@ -428,6 +635,24 @@ let rec process_frames st conn =
         respond st conn None (too_large st)
       end
 
+(* Deliver (a chaos-chosen prefix of) a connection's stashed bytes into
+   its input buffer. Bytes withheld here come back on a later loop
+   iteration — exactly a frame torn across select wakeups. *)
+let deliver_stash st conn =
+  match st.cfg.chaos with
+  | None -> ()
+  | Some ch ->
+      let avail = Buffer.length conn.stash in
+      if avail > 0 && Hashtbl.mem st.conns conn.id then (
+        match Chaos.on_read ch ~avail with
+        | `Drop -> close_conn st conn
+        | `Deliver k ->
+            let data = Buffer.contents conn.stash in
+            Buffer.clear conn.stash;
+            Buffer.add_substring conn.inbuf data 0 k;
+            if k < avail then Buffer.add_substring conn.stash data k (avail - k);
+            process_frames st conn)
+
 let handle_readable st conn =
   let buf = Bytes.create 65536 in
   let rec go () =
@@ -435,8 +660,14 @@ let handle_readable st conn =
       match Unix.read conn.fd buf 0 (Bytes.length buf) with
       | 0 -> close_conn st conn
       | n ->
-          Buffer.add_subbytes conn.inbuf buf 0 n;
-          process_frames st conn;
+          (match st.cfg.chaos with
+          | None ->
+              Buffer.add_subbytes conn.inbuf buf 0 n;
+              process_frames st conn
+          | Some _ ->
+              (* append behind any withheld bytes to preserve order *)
+              Buffer.add_subbytes conn.stash buf 0 n;
+              deliver_stash st conn);
           go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           ()
@@ -445,24 +676,129 @@ let handle_readable st conn =
   in
   go ()
 
+(* ------------------------------------------------------------------ *)
+(* Completions, replay and supervision *)
+
+let submit_replay st ~sid ~worker ~ontology ~data ~query ~max_extra =
+  Hashtbl.replace st.replaying sid ();
+  submit_raw st ~conn_id:(-1) ~rid:None ~worker ~replay_sid:(Some sid)
+    ~op:"replay_session"
+    (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
+
 let handle_completion st (c : completion) =
-  (match c.register with
-  | Some (New (sid, se)) -> Hashtbl.replace st.sessions sid se
-  | Some (Refresh (sid, se)) ->
-      if Hashtbl.mem st.sessions sid then Hashtbl.replace st.sessions sid se
-  | None -> ());
-  st.worker_stats.(c.worker) <- c.wstats;
-  (match c.trace with
-  | Some col -> (
-      match Obs.Trace.active () with
-      | Some into ->
-          Obs.Trace.absorb ~attrs:[ ("domain", Obs.Trace.Int c.worker) ] ~into
-            col
-      | None -> ())
-  | None -> ());
-  match Hashtbl.find_opt st.conns c.conn_id with
-  | Some conn -> respond st conn c.rid c.resp
+  match Hashtbl.find_opt st.pending c.token with
+  | None -> () (* already failed by a quarantine; drop the late result *)
+  | Some p -> (
+      Hashtbl.remove st.pending c.token;
+      st.worker_stats.(c.worker) <- c.wstats;
+      (match c.trace with
+      | Some col -> (
+          match Obs.Trace.active () with
+          | Some into ->
+              Obs.Trace.absorb ~attrs:[ ("domain", Obs.Trace.Int c.worker) ]
+                ~into col
+          | None -> ())
+      | None -> ());
+      match p.replay_sid with
+      | Some sid -> (
+          Hashtbl.remove st.replaying sid;
+          match c.register with
+          | Some (New (s, se)) -> Hashtbl.replace st.sessions s se
+          | Some (Refresh _) | None ->
+              (* replay failed: the session is gone for good *)
+              Hashtbl.remove st.sessions sid;
+              metric "serve.supervision.sessions_lost";
+              if st.cfg.log then
+                Fmt.epr "omqd: session %d lost (replay failed: %s)@." sid
+                  (match c.resp with
+                  | P.Rejected { message; _ } -> message
+                  | _ -> "unexpected response"))
+      | None ->
+          (* Journal-before-ack: the entry that acknowledges the state
+             change (the head of the registered session's log) must be
+             durable before the response bytes exist. On journal
+             failure the op is not applied and not acked. *)
+          let resp = ref c.resp in
+          (match c.register with
+          | Some reg -> (
+              let se = match reg with New (_, se) | Refresh (_, se) -> se in
+              match journal_append st (List.hd se.log) with
+              | Ok () ->
+                  (match reg with
+                  | New (sid, se) -> Hashtbl.replace st.sessions sid se
+                  | Refresh (sid, se) ->
+                      if Hashtbl.mem st.sessions sid then
+                        Hashtbl.replace st.sessions sid se);
+                  maybe_compact st
+              | Error msg ->
+                  resp :=
+                    P.Rejected
+                      {
+                        kind = P.Internal;
+                        message = "journal append failed: " ^ msg;
+                      })
+          | None -> ());
+          (match Hashtbl.find_opt st.conns p.conn_id with
+          | Some conn -> respond st conn p.rid !resp
+          | None -> ()))
+
+(* Abandon worker [w]'s domain, fail everything routed to it with the
+   retryable [Worker_lost], and rebuild its sessions from their
+   in-memory logs on a fresh domain at the same index (sticky pins stay
+   valid). Requests arriving for a session mid-replay are rejected
+   retryable until its replay completion registers. *)
+let quarantine st w =
+  let _discarded = Parallel.Service.replace st.service ~worker:w in
+  metric "serve.supervision.quarantines";
+  if st.cfg.log then Fmt.epr "omqd: worker %d quarantined@." w;
+  let victims =
+    Hashtbl.fold
+      (fun tok p acc -> if p.worker = w then (tok, p) :: acc else acc)
+      st.pending []
+  in
+  List.iter
+    (fun (tok, p) ->
+      Hashtbl.remove st.pending tok;
+      match p.replay_sid with
+      | Some sid ->
+          (* a replay job itself was lost; the session scan below
+             resubmits it (or counts it lost if the record is gone) *)
+          Hashtbl.remove st.replaying sid;
+          if not (Hashtbl.mem st.sessions sid) then
+            metric "serve.supervision.sessions_lost"
+      | None -> (
+          metric "serve.supervision.requests_failed";
+          match Hashtbl.find_opt st.conns p.conn_id with
+          | Some conn ->
+              respond st conn p.rid
+                (P.Rejected
+                   {
+                     kind = P.Worker_lost;
+                     message = "worker quarantined; retry";
+                   })
+          | None -> ()))
+    victims;
+  Hashtbl.iter
+    (fun sid (se : sess) ->
+      if se.worker = w && not (Hashtbl.mem st.replaying sid) then begin
+        metric "serve.supervision.sessions_replayed";
+        match folded_entry sid se with
+        | Journal.Open { ontology; data; query; max_extra; _ } ->
+            submit_replay st ~sid ~worker:w ~ontology ~data ~query ~max_extra
+        | _ -> ()
+      end)
+    st.sessions
+
+let supervise st =
+  match st.cfg.supervise with
   | None -> ()
+  | Some deadline ->
+      let now = Obs.Clock.now () in
+      for w = 0 to Parallel.Service.jobs st.service - 1 do
+        match Parallel.Service.busy_since st.service ~worker:w with
+        | Some t when now -. t > deadline -> quarantine st w
+        | _ -> ()
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Socket setup and the loop *)
@@ -490,7 +826,12 @@ let listen_on = function
       fd
 
 let all_conns st = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
-let no_pending st = Hashtbl.fold (fun _ c ok -> ok && not (pending c)) st.conns true
+
+let no_pending_out st =
+  Hashtbl.fold (fun _ c ok -> ok && not (pending_out c)) st.conns true
+
+let any_stash st =
+  Hashtbl.fold (fun _ c any -> any || Buffer.length c.stash > 0) st.conns false
 
 let run ?(ready = fun () -> ()) cfg =
   let prev_pipe =
@@ -522,6 +863,33 @@ let run ?(ready = fun () -> ()) cfg =
         try ignore (Unix.single_write pipe_w wake_byte 0 1)
         with Unix.Unix_error _ -> ()
       in
+      (* SIGTERM/SIGINT route through the same graceful path as the
+         shutdown wire op: the handler only flips a flag and nudges the
+         self-pipe; the loop does the rest. *)
+      let sig_requested = ref false in
+      let prev_sigs =
+        if cfg.signals then
+          List.filter_map
+            (fun s ->
+              try
+                Some
+                  ( s,
+                    Sys.signal s
+                      (Sys.Signal_handle
+                         (fun _ ->
+                           sig_requested := true;
+                           wakeup ())) )
+              with Invalid_argument _ | Sys_error _ -> None)
+            [ Sys.sigterm; Sys.sigint ]
+        else []
+      in
+      let restore_sigs () =
+        List.iter
+          (fun (s, h) ->
+            try Sys.set_signal s h
+            with Invalid_argument _ | Sys_error _ -> ())
+          prev_sigs
+      in
       let root =
         match cfg.trace with
         | None -> None
@@ -530,7 +898,9 @@ let run ?(ready = fun () -> ()) cfg =
             Obs.Trace.install c;
             Some c
       in
-      let service = Parallel.Service.create ~jobs:cfg.jobs ~wakeup () in
+      let service =
+        Parallel.Service.create ~jobs:cfg.jobs ~wakeup ~clock:Obs.Clock.now ()
+      in
       let jobs = Parallel.Service.jobs service in
       let st =
         {
@@ -539,10 +909,14 @@ let run ?(ready = fun () -> ()) cfg =
           tracing = Option.is_some root;
           sessions = Hashtbl.create 31;
           conns = Hashtbl.create 31;
+          pending = Hashtbl.create 31;
+          replaying = Hashtbl.create 7;
           worker_stats = Array.init jobs (fun _ -> S.create ());
           start_s = Obs.Clock.now ();
+          journal = None;
           next_sid = 0;
           next_conn_id = 0;
+          next_token = 0;
           rr = 0;
           served = 0;
           errors = 0;
@@ -550,9 +924,6 @@ let run ?(ready = fun () -> ()) cfg =
           shut_deadline = 0.0;
         }
       in
-      if cfg.log then
-        Fmt.epr "omqd: listening on %a (%d worker%s)@." pp_addr cfg.addr jobs
-          (if jobs = 1 then "" else "s");
       let drain_pipe () =
         let b = Bytes.create 256 in
         let rec go () =
@@ -566,22 +937,83 @@ let run ?(ready = fun () -> ()) cfg =
         in
         go ()
       in
+      (* Startup recovery: replay the journal's live sessions before
+         accepting the first connection, so a restarted daemon answers
+         exactly like the one that died. *)
+      let recover () =
+        match cfg.journal with
+        | None -> ()
+        | Some dir ->
+            let entries, status = Journal.load dir in
+            (match status with
+            | `Ok -> ()
+            | `Corrupt msg ->
+                if cfg.log then Fmt.epr "omqd: journal: %s (entry skipped)@." msg);
+            st.journal <- Some (Journal.open_ dir);
+            st.next_sid <- Journal.max_sid entries + 1;
+            let live = Journal.live_sessions entries in
+            let g = Obs.Metrics.global () in
+            Obs.Metrics.set_count g "serve.recovery.sessions" (List.length live);
+            Obs.Metrics.set_count g "serve.recovery.entries"
+              (List.fold_left (fun n (_, _, k) -> n + k) 0 live);
+            if live <> [] then
+              Obs.Trace.with_span
+                ~attrs:
+                  [
+                    ("sessions", Obs.Trace.Int (List.length live));
+                    ("entries", Obs.Trace.Int (List.length entries));
+                  ]
+                "serve.recovery"
+                (fun () ->
+                  List.iter
+                    (fun (sid, (ontology, data, query, max_extra), _) ->
+                      let worker = next_worker st in
+                      submit_replay st ~sid ~worker ~ontology ~data ~query
+                        ~max_extra)
+                    live;
+                  while Hashtbl.length st.replaying > 0 do
+                    List.iter (handle_completion st)
+                      (Parallel.Service.drain service);
+                    if Hashtbl.length st.replaying > 0 then
+                      match Unix.select [ pipe_r ] [] [] 0.05 with
+                      | rs, _, _ -> if rs <> [] then drain_pipe ()
+                      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  done);
+            if cfg.log then
+              Fmt.epr "omqd: recovered %d session%s from %s@."
+                (Hashtbl.length st.sessions)
+                (if Hashtbl.length st.sessions = 1 then "" else "s")
+                dir
+      in
+      if cfg.log then
+        Fmt.epr "omqd: listening on %a (%d worker%s)@." pp_addr cfg.addr jobs
+          (if jobs = 1 then "" else "s");
       let rec accept_all () =
         match Unix.accept listen_fd with
-        | cfd, _ ->
-            Unix.set_nonblock cfd;
-            let id = st.next_conn_id in
-            st.next_conn_id <- id + 1;
-            Hashtbl.replace st.conns id
-              {
-                id;
-                fd = cfd;
-                inbuf = Buffer.create 512;
-                discarding = false;
-                out = "";
-                outpos = 0;
-              };
-            accept_all ()
+        | cfd, _ -> (
+            match
+              match cfg.chaos with
+              | Some ch -> Chaos.on_accept ch
+              | None -> `Accept
+            with
+            | `Drop ->
+                (try Unix.close cfd with Unix.Unix_error _ -> ());
+                accept_all ()
+            | `Accept ->
+                Unix.set_nonblock cfd;
+                let id = st.next_conn_id in
+                st.next_conn_id <- id + 1;
+                Hashtbl.replace st.conns id
+                  {
+                    id;
+                    fd = cfd;
+                    inbuf = Buffer.create 512;
+                    stash = Buffer.create 0;
+                    discarding = false;
+                    out = "";
+                    outpos = 0;
+                  };
+                accept_all ())
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
             ()
@@ -590,10 +1022,18 @@ let run ?(ready = fun () -> ()) cfg =
       in
       let rec loop () =
         List.iter (handle_completion st) (Parallel.Service.drain service);
+        supervise st;
+        if !sig_requested && not st.shutting then begin
+          st.shutting <- true;
+          st.shut_deadline <- Obs.Clock.now () +. cfg.shutdown_grace;
+          if cfg.log then Fmt.epr "omqd: signal received, draining@."
+        end;
+        if any_stash st then
+          List.iter (fun c -> deliver_stash st c) (all_conns st);
         let drained =
           st.shutting
           && Parallel.Service.in_flight service = 0
-          && no_pending st
+          && no_pending_out st
         in
         let expired = st.shutting && Obs.Clock.now () > st.shut_deadline in
         if not (drained || expired) then begin
@@ -604,10 +1044,18 @@ let run ?(ready = fun () -> ()) cfg =
           in
           let wrs =
             List.filter_map
-              (fun c -> if pending c then Some c.fd else None)
+              (fun c -> if pending_out c then Some c.fd else None)
               conns
           in
-          (match Unix.select rds wrs [] 0.5 with
+          let timeout =
+            if any_stash st then 0.0
+            else
+              match cfg.supervise with
+              | Some d when Parallel.Service.in_flight service > 0 ->
+                  Float.min 0.5 (Float.max (d /. 4.) 0.005)
+              | _ -> 0.5
+          in
+          (match Unix.select rds wrs [] timeout with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
           | rs, ws, _ ->
               if List.mem pipe_r rs then drain_pipe ();
@@ -625,14 +1073,34 @@ let run ?(ready = fun () -> ()) cfg =
           loop ()
         end
       in
-      ready ();
       let result =
-        match loop () with
+        match
+          recover ();
+          ready ();
+          loop ()
+        with
         | () -> Ok ()
         | exception e -> Error (Printexc.to_string e)
       in
-      (try Parallel.Service.shutdown service
-       with _ -> ());
+      (* A worker still busy here is wedged (a drained exit implies an
+         idle service): abandon it so shutdown's joins cannot hang. *)
+      for w = 0 to jobs - 1 do
+        if Parallel.Service.busy_since service ~worker:w <> None then
+          ignore (Parallel.Service.replace service ~worker:w)
+      done;
+      (try Parallel.Service.shutdown service with _ -> ());
+      (match st.journal with Some j -> Journal.close j | None -> ());
+      (match cfg.chaos with
+      | Some ch ->
+          let torn, dropr, short, stall, dropa, poisoned = Chaos.injected ch in
+          let g = Obs.Metrics.global () in
+          Obs.Metrics.set_count g "serve.chaos.torn_reads" torn;
+          Obs.Metrics.set_count g "serve.chaos.drop_reads" dropr;
+          Obs.Metrics.set_count g "serve.chaos.short_writes" short;
+          Obs.Metrics.set_count g "serve.chaos.stall_writes" stall;
+          Obs.Metrics.set_count g "serve.chaos.drop_accepts" dropa;
+          Obs.Metrics.set_count g "serve.chaos.poisoned" poisoned
+      | None -> ());
       List.iter (fun c -> close_conn st c) (all_conns st);
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.close pipe_r with Unix.Unix_error _ -> ());
@@ -652,5 +1120,6 @@ let run ?(ready = fun () -> ()) cfg =
         | Some _, None | None, _ -> result
       in
       if cfg.log then Fmt.epr "omqd: shut down@.";
+      restore_sigs ();
       restore_pipe ();
       result

@@ -19,11 +19,34 @@
     ["out_of_fuel"], the wire twin of exit codes 124/125) — the daemon,
     the session and every other request are unaffected.
 
+    Fault tolerance (see DESIGN.md for the invariants):
+    - {e journal-before-ack}: with [journal] set, every open / insert /
+      close is appended to the {!Journal} and fsync'd before its
+      acknowledgement is queued; on startup the journal's live sessions
+      are replayed before the first accept, so a killed-and-restarted
+      daemon answers every acknowledged session identically. The
+      journal is compacted to one open per live session past
+      [journal_compact] bytes.
+    - {e supervision}: with [supervise] set, a worker whose current job
+      has run longer than the deadline is quarantined
+      ({!Parallel.Service.replace}); its in-flight requests fail with
+      the retryable [worker_lost], and its sessions are rebuilt from
+      their in-memory logs on the fresh domain (works without a disk
+      journal). [serve.supervision.*] counters land in
+      [Obs.Metrics.global].
+    - {e hardened edges}: requests beyond [max_inflight] are shed with
+      the retryable [overloaded]; a connection whose unsent output
+      exceeds [max_outbuf] bytes (a reader that stopped reading) is
+      disconnected.
+    - {e chaos}: a {!Chaos} plan, if given, injects deterministic
+      faults at the read/write/accept boundary and can poison worker
+      jobs — test/bench only.
+
     Observability: when [trace] is set, every request runs under a
     private collector on its worker, absorbed into the daemon's ambient
     collector in completion order as a ["serve.request"] span tagged
-    with the worker's [domain]; the merged trace is exported to the
-    given file on shutdown. *)
+    with the worker's [domain]; startup replay is a ["serve.recovery"]
+    span. The merged trace is exported to the given file on shutdown. *)
 
 type addr =
   | Unix_path of string  (** Unix domain socket; unlinked on shutdown *)
@@ -41,13 +64,49 @@ type config = {
                         oversized line is discarded *)
   trace : (Obs.Export.format * string) option;
   log : bool;  (** startup/shutdown notes on stderr *)
+  journal : string option;  (** journal directory; [None] = no journal *)
+  journal_compact : int;  (** compact past this many bytes; <= 0 never *)
+  supervise : float option;
+      (** quarantine a worker busy on one job longer than this (s) *)
+  max_inflight : int option;  (** admission cap; [None] = unbounded *)
+  max_outbuf : int;  (** disconnect a conn whose unsent output exceeds this *)
+  shutdown_grace : float;  (** drain deadline after shutdown/signal (s) *)
+  signals : bool;  (** route SIGTERM/SIGINT through graceful shutdown *)
+  chaos : Chaos.t option;
 }
 
-val default_max_frame : int
+(** Build a {!config}; every field but [addr] has the serving default
+    ([jobs = 1], no caps, {!default_max_frame}, no trace, quiet, no
+    journal, {!default_journal_compact}, no supervision, unbounded
+    admission, {!default_max_outbuf}, {!default_shutdown_grace}, no
+    signal handlers, no chaos). *)
+val config :
+  addr:addr ->
+  ?jobs:int ->
+  ?caps:Omq.Protocol.budget_spec ->
+  ?max_frame:int ->
+  ?trace:Obs.Export.format * string ->
+  ?log:bool ->
+  ?journal:string ->
+  ?journal_compact:int ->
+  ?supervise:float ->
+  ?max_inflight:int ->
+  ?max_outbuf:int ->
+  ?shutdown_grace:float ->
+  ?signals:bool ->
+  ?chaos:Chaos.t ->
+  unit ->
+  config
 
-(** [run cfg] serves until a [shutdown] request: accepts connections,
-    answers every in-flight request, flushes, closes and returns
-    [Ok ()]. [ready] is called once listening (before the first
-    accept) — for embedding the daemon in a test or bench harness.
-    Setup failures (bind, listen) return [Error]. *)
+val default_max_frame : int
+val default_max_outbuf : int
+val default_journal_compact : int
+val default_shutdown_grace : float
+
+(** [run cfg] serves until a [shutdown] request (or, with [signals], a
+    SIGTERM/SIGINT): accepts connections, answers every in-flight
+    request, flushes, closes and returns [Ok ()]. [ready] is called
+    once listening and once journal replay has finished (before the
+    first accept) — for embedding the daemon in a test or bench
+    harness. Setup failures (bind, listen) return [Error]. *)
 val run : ?ready:(unit -> unit) -> config -> (unit, string) result

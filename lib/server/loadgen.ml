@@ -14,6 +14,8 @@ type summary = {
   tripped : int;
   errors : int;
   mismatches : int;
+  connect_failures : int;
+  io_failures : int;
   seconds : float;
   throughput_rps : float;
   mean_ms : float;
@@ -23,6 +25,11 @@ type summary = {
   max_ms : float;
 }
 
+(* Only setup errors that make the whole run meaningless are fatal
+   (unresolvable address, every response stalled); a single client's
+   connect or I/O failure is counted and the rest of the fleet keeps
+   going — chaos benches measure degradation, they must not abort on
+   the first injected fault. *)
 exception Fail of string
 
 let failf fmt = Fmt.kstr (fun m -> raise (Fail m)) fmt
@@ -50,22 +57,34 @@ let sockaddr_of = function
       in
       (Unix.PF_INET, Unix.ADDR_INET (ip, port))
 
+let rng = lazy (Random.State.make_self_init ())
+
+let backoff_sleep n =
+  let d = Float.min 1.0 (0.02 *. (2.0 ** float_of_int n)) in
+  let r = Random.State.float (Lazy.force rng) 1.0 in
+  Unix.sleepf ((d /. 2.) +. (r *. d /. 2.))
+
 let connect addr =
   let domain, sa = sockaddr_of addr in
   let rec go n =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd sa with
-    | () -> fd
+    | () -> Some fd
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        if n > 1 then begin
-          Unix.sleepf 0.1;
-          go (n - 1)
+        let retryable =
+          match e with
+          | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.ECONNRESET ->
+              true
+          | _ -> false
+        in
+        if retryable && n < 49 then begin
+          backoff_sleep n;
+          go (n + 1)
         end
-        else
-          failf "connect %a: %s" Daemon.pp_addr addr (Unix.error_message e)
+        else None
   in
-  go 50
+  go 0
 
 let write_all fd s =
   let len = String.length s in
@@ -75,18 +94,10 @@ let write_all fd s =
       | n -> go (pos + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
       | exception Unix.Unix_error (e, _, _) ->
-          failf "write: %s" (Unix.error_message e)
+          Error (Unix.error_message e)
+    else Ok ()
   in
   go 0
-
-let send c req =
-  let id = c.next_id in
-  c.next_id <- id + 1;
-  write_all c.fd (P.render_request ~id req ^ "\n")
-
-let send_eval c =
-  c.sent_at <- Obs.Clock.now ();
-  send c (c.spec.make_eval ~session:c.session)
 
 let percentile sorted q =
   let n = Array.length sorted in
@@ -100,35 +111,59 @@ let run addr specs ~queries =
   else if queries < 1 then Error "loadgen: queries must be >= 1"
   else
     try
+      let connect_failures = ref 0 and io_failures = ref 0 in
       let clients =
-        List.mapi
-          (fun index spec ->
-            {
-              index;
-              fd = connect addr;
-              inbuf = Buffer.create 512;
-              spec;
-              session = -1;
-              got = 0;
-              sent_at = 0.0;
-              next_id = 0;
-              phase = `Opening;
-            })
-          specs
+        List.concat
+          (List.mapi
+             (fun index spec ->
+               match connect addr with
+               | None ->
+                   incr connect_failures;
+                   []
+               | Some fd ->
+                   [
+                     {
+                       index;
+                       fd;
+                       inbuf = Buffer.create 512;
+                       spec;
+                       session = -1;
+                       got = 0;
+                       sent_at = 0.0;
+                       next_id = 0;
+                       phase = `Opening;
+                     };
+                   ])
+             specs)
       in
       let latencies = ref [] in
       let ok = ref 0 and tripped = ref 0 and errors = ref 0 in
       let mismatches = ref 0 in
       let t0 = Obs.Clock.now () in
-      List.iter (fun c -> send c c.spec.open_req) clients;
       let finish c =
         c.phase <- `Done;
         try Unix.close c.fd with Unix.Unix_error _ -> ()
       in
+      (* An I/O or framing failure kills this one client, not the run. *)
+      let io_fail c =
+        incr io_failures;
+        finish c
+      in
+      let send c req =
+        let id = c.next_id in
+        c.next_id <- id + 1;
+        match write_all c.fd (P.render_request ~id req ^ "\n") with
+        | Ok () -> ()
+        | Error _ -> io_fail c
+      in
+      let send_eval c =
+        c.sent_at <- Obs.Clock.now ();
+        send c (c.spec.make_eval ~session:c.session)
+      in
+      List.iter (fun c -> send c c.spec.open_req) clients;
       let handle_line c line =
         match P.parse_response line with
-        | Error (_, (_, msg)) ->
-            failf "client %d: bad response frame: %s" c.index msg
+        | Error (_, (_, _)) -> io_fail c
         | Ok (_, resp) -> (
             match c.phase with
             | `Opening -> (
@@ -137,9 +172,10 @@ let run addr specs ~queries =
                     c.session <- session;
                     c.phase <- `Running;
                     send_eval c
-                | other ->
-                    failf "client %d: open failed: %s" c.index
-                      (P.render_response other))
+                | P.Rejected _ ->
+                    incr errors;
+                    finish c
+                | _ -> io_fail c)
             | `Running ->
                 let lat = Obs.Clock.now () -. c.sent_at in
                 latencies := lat :: !latencies;
@@ -158,9 +194,10 @@ let run addr specs ~queries =
       let process c =
         let chunk = Bytes.create 65536 in
         (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-        | 0 -> failf "client %d: connection closed by server" c.index
+        | 0 -> io_fail c
         | n -> Buffer.add_subbytes c.inbuf chunk 0 n
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> io_fail c);
         let rec lines () =
           if c.phase <> `Done then begin
             let data = Buffer.contents c.inbuf in
@@ -198,13 +235,15 @@ let run addr specs ~queries =
       let ms x = 1000.0 *. x in
       Ok
         {
-          clients = List.length clients;
+          clients = List.length specs;
           queries_per_client = queries;
           total;
           ok = !ok;
           tripped = !tripped;
           errors = !errors;
           mismatches = !mismatches;
+          connect_failures = !connect_failures;
+          io_failures = !io_failures;
           seconds;
           throughput_rps =
             (if seconds > 0.0 then float_of_int total /. seconds else 0.0);
@@ -221,9 +260,11 @@ let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>%d client(s) x %d quer%s: %d answered (%d ok, %d tripped, %d \
      error(s), %d mismatch(es))@,\
+     failures: %d connect, %d io@,\
      %.3f s wall, %.1f req/s@,\
      latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@]"
     s.clients s.queries_per_client
     (if s.queries_per_client = 1 then "y" else "ies")
-    s.total s.ok s.tripped s.errors s.mismatches s.seconds s.throughput_rps
-    s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms
+    s.total s.ok s.tripped s.errors s.mismatches s.connect_failures
+    s.io_failures s.seconds s.throughput_rps s.mean_ms s.p50_ms s.p95_ms
+    s.p99_ms s.max_ms

@@ -18,13 +18,17 @@ type spec = {
 }
 
 type summary = {
-  clients : int;
+  clients : int;  (** specs given, whether or not they connected *)
   queries_per_client : int;
   total : int;  (** evals answered (excludes the opens) *)
   ok : int;  (** complete [Evaled] responses *)
   tripped : int;  (** budget-tripped partials *)
   errors : int;  (** typed rejections *)
   mismatches : int;  (** responses differing from [expected] *)
+  connect_failures : int;  (** clients that never established a connection *)
+  io_failures : int;
+      (** clients dropped mid-run: EOF, read/write error, undecodable
+          frame — each ends that one client, never the run *)
   seconds : float;  (** wall time, first open to last response *)
   throughput_rps : float;  (** total / seconds *)
   mean_ms : float;
@@ -34,9 +38,14 @@ type summary = {
   max_ms : float;
 }
 
-(** [run addr specs ~queries] drives one client per spec. [Error] when a
-    connection cannot be established, an open fails, a frame cannot be
-    decoded, or the daemon stalls (no progress for 30 s). *)
+(** [run addr specs ~queries] drives one client per spec. Per-client
+    faults — a connection that cannot be established, an EOF or I/O
+    error mid-run, an undecodable frame — end that client and are
+    counted in [connect_failures] / [io_failures]; the run carries on
+    with the survivors (a run where every client failed still returns
+    [Ok] with [total = 0]). [Error] is reserved for an unresolvable
+    address, an empty spec list, or a full stall (no response anywhere
+    for 30 s). *)
 val run :
   Daemon.addr -> spec list -> queries:int -> (summary, string) result
 

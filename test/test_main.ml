@@ -24,4 +24,5 @@ let () =
       ("properties", Test_properties.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -66,9 +66,7 @@ let with_daemon ?(caps = P.no_budget)
       (Printf.sprintf "omqd-test-%d-%d.sock" (Unix.getpid ()) !counter)
   in
   let addr = Omqd.Daemon.Unix_path path in
-  let cfg =
-    { Omqd.Daemon.addr; jobs; caps; max_frame; trace = None; log = false }
-  in
+  let cfg = Omqd.Daemon.config ~addr ~jobs ~caps ~max_frame () in
   let result = ref (Ok ()) in
   let th = Thread.create (fun () -> result := Omqd.Daemon.run cfg) () in
   let out = try Ok (f addr) with e -> Error e in
@@ -271,6 +269,36 @@ let test_loadgen () =
       Alcotest.(check int) "all complete" 8 s.Omqd.Loadgen.ok;
       Alcotest.(check int) "no mismatches" 0 s.Omqd.Loadgen.mismatches
 
+(* A client whose open is rejected ends that one client; the rest of
+   the fleet finishes and the run still returns Ok with the failure
+   visible in the counters — chaos benches measure degradation, they
+   must not abort. *)
+let test_loadgen_counts_failures () =
+  with_daemon ~jobs:2 @@ fun addr ->
+  let good =
+    {
+      Omqd.Loadgen.open_req;
+      make_eval = (fun ~session -> eval_req session);
+      expected = Some (P.render_response (direct_eval ()));
+    }
+  in
+  let bad =
+    {
+      good with
+      Omqd.Loadgen.open_req =
+        P.Open_session
+          { ontology = "Hand <<"; data = ""; query; max_extra = 2 };
+    }
+  in
+  match Omqd.Loadgen.run addr [ good; bad ] ~queries:3 with
+  | Error m -> Alcotest.failf "loadgen: %s" m
+  | Ok s ->
+      Alcotest.(check int) "both specs reported" 2 s.Omqd.Loadgen.clients;
+      Alcotest.(check int) "good client answered" 3 s.Omqd.Loadgen.total;
+      Alcotest.(check int) "bad open counted as an error" 1 s.Omqd.Loadgen.errors;
+      Alcotest.(check int) "no io failures" 0 s.Omqd.Loadgen.io_failures;
+      Alcotest.(check int) "no mismatches" 0 s.Omqd.Loadgen.mismatches
+
 let suite =
   [
     Alcotest.test_case "served eval equals direct rendering" `Quick
@@ -289,4 +317,6 @@ let suite =
       test_close_and_stats;
     Alcotest.test_case "clean shutdown" `Quick test_clean_shutdown;
     Alcotest.test_case "loadgen drives concurrent clients" `Quick test_loadgen;
+    Alcotest.test_case "loadgen counts per-client failures" `Quick
+      test_loadgen_counts_failures;
   ]
