@@ -308,6 +308,96 @@ let serve_table () =
           Obs.Metrics.set m "bench.serve.p99_ms" s.Omqd.Loadgen.p99_ms;
           Obs.Metrics.set m "bench.serve.max_ms" s.Omqd.Loadgen.max_ms)
 
+let telemetry_overhead_table () =
+  section "Telemetry overhead: identical load, metrics on vs off";
+  (* Same daemon-on-a-thread closed loop as the serve table, run three
+     times: one discarded warmup, then telemetry on and telemetry off.
+     What's being priced is the whole per-request hot path the flight
+     recorder adds — latency observation into the bucketed histogram,
+     the worker-side GC sample + registry snapshot shipped with each
+     completion, and the ring write. The budget is < 5% of throughput;
+     the number lands in BENCH_omq.json so CI can watch it drift. *)
+  let module P = Omq.Protocol in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match (read_file "data/hand.dl", read_file "data/hand_instance.txt") with
+  | exception Sys_error m ->
+      Fmt.pr "skipped: %s (run from the repository root)@." m
+  | onto, data -> (
+      let query = "q(x) <- Hand(x)" in
+      (* Long runs: at short ones the measurement is dominated by
+         daemon/session startup and scheduler noise, not the per-request
+         cost being priced. *)
+      let clients = 4 and queries = 200 and jobs = 4 in
+      let spec =
+        {
+          Omqd.Loadgen.open_req =
+            P.Open_session { ontology = onto; data; query; max_extra = 2 };
+          make_eval =
+            (fun ~session ->
+              P.Eval { session; budget = P.no_budget; want_stats = false });
+          expected = None;
+        }
+      in
+      let run_load ~telemetry tag =
+        let path =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "omq-bench-tel-%s-%d.sock" tag (Unix.getpid ()))
+        in
+        let addr = Omqd.Daemon.Unix_path path in
+        let cfg = Omqd.Daemon.config ~addr ~jobs ~telemetry () in
+        let daemon = ref (Ok ()) in
+        let th = Thread.create (fun () -> daemon := Omqd.Daemon.run cfg) () in
+        let outcome =
+          Omqd.Loadgen.run addr (List.init clients (fun _ -> spec)) ~queries
+        in
+        (match Omqd.Client.connect ~attempts:1 addr with
+        | Error _ -> ()
+        | Ok c ->
+            ignore (Omqd.Client.call c P.Shutdown);
+            Omqd.Client.close c);
+        Thread.join th;
+        match (outcome, !daemon) with
+        | Ok s, Ok () -> Ok s.Omqd.Loadgen.throughput_rps
+        | Error m, _ | _, Error m -> Error m
+      in
+      let ( let* ) = Result.bind in
+      (* Alternate on/off and keep the best of three each: a single
+         pair is badly order-biased in-process (the major heap grows
+         run over run, so whichever mode runs later looks faster).
+         Best-of alternated pairs cancels that; noise only ever
+         subtracts from a throughput measurement. *)
+      let measured =
+        let* _warmup = run_load ~telemetry:true "warmup" in
+        let rec pairs n best_on best_off =
+          if n = 0 then Ok (best_on, best_off)
+          else
+            let* on = run_load ~telemetry:true (Printf.sprintf "on%d" n) in
+            let* off = run_load ~telemetry:false (Printf.sprintf "off%d" n) in
+            pairs (n - 1) (Float.max best_on on) (Float.max best_off off)
+        in
+        pairs 3 0.0 0.0
+      in
+      match measured with
+      | Error m -> Fmt.pr "skipped: %s@." m
+      | Ok (rps_on, rps_off) ->
+          let overhead_pct =
+            if rps_off > 0.0 then 100.0 *. (1.0 -. (rps_on /. rps_off))
+            else 0.0
+          in
+          Fmt.pr "telemetry on: %.1f req/s@." rps_on;
+          Fmt.pr "telemetry off: %.1f req/s@." rps_off;
+          Fmt.pr "overhead: %.2f%% of throughput@." overhead_pct;
+          let m = Obs.Metrics.global () in
+          Obs.Metrics.set m "bench.telemetry.rps_on" rps_on;
+          Obs.Metrics.set m "bench.telemetry.rps_off" rps_off;
+          Obs.Metrics.set m "bench.telemetry.overhead_pct" overhead_pct)
+
 let chaos_table () =
   section "Chaos: journal recovery and fault-ridden serving";
   (* Two daemons share one journal directory. The first serves a fleet
@@ -711,6 +801,7 @@ let () =
     engine_table ();
     parallel_corpus_table ();
     serve_table ();
+    telemetry_overhead_table ();
     chaos_table ();
     thm5_table ();
     thm8_table ();

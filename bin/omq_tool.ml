@@ -783,6 +783,18 @@ let addr_of socket host port =
   | None, Some p -> Ok (Omqd.Daemon.Tcp (host, p))
   | None, None -> Ok (Omqd.Daemon.Unix_path "omq.sock")
 
+(* HOST:PORT (last colon splits, so the HOST may not be an IPv6
+   literal) is TCP; anything else is a Unix socket path. *)
+let parse_listen_addr s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      match
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some p -> Omqd.Daemon.Tcp (String.sub s 0 i, p)
+      | None -> Omqd.Daemon.Unix_path s)
+  | None -> Omqd.Daemon.Unix_path s
+
 let serve_cmd =
   let jobs_arg =
     Arg.(
@@ -852,10 +864,70 @@ let serve_cmd =
             "Disconnect a client whose unsent responses exceed $(docv) \
              bytes (a reader that stopped reading).")
   in
+  let metrics_addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Serve Prometheus text exposition on $(b,GET /metrics) (and \
+             the live telemetry dump on $(b,GET /telemetry)) at $(docv): \
+             HOST:PORT for TCP, any other string as a Unix socket path. \
+             Plain HTTP/1.0 on the daemon's own select loop.")
+  in
+  let log_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", Obs.Log.Text); ("json", Obs.Log.Json) ]) Obs.Log.Text
+      & info [ "log-format" ] ~docv:"FMT"
+          ~doc:
+            "Log record format on stderr: $(b,text) or $(b,json) (one \
+             object per line, machine-parseable).")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum log level: debug, info, warn or error.")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"PATH"
+          ~doc:
+            "Write the SIGUSR1 telemetry dump (flight-recorder ring, \
+             per-worker rows, latency quantiles) to $(docv); without it \
+             the dump is one JSON line on stderr.")
+  in
+  let no_telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable the flight recorder, the request-latency histogram \
+             and per-request GC sampling (leaves one load+branch per \
+             completion).")
+  in
+  let flight_capacity_arg =
+    Arg.(
+      value
+      & opt int Omqd.Telemetry.default_capacity
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight-recorder ring capacity (completed request spans).")
+  in
   let run socket host port jobs max_frame journal journal_compact supervise
-      max_inflight max_outbuf (c : common) =
+      max_inflight max_outbuf metrics_addr log_format log_level flight_dump
+      no_telemetry flight_capacity (c : common) =
     run_result @@ fun () ->
     let* addr = addr_of socket host port in
+    let* level =
+      match Obs.Log.level_of_string log_level with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "unknown log level %S" log_level)
+    in
+    Obs.Log.set_level level;
+    Obs.Log.set_format log_format;
     let cfg =
       Omqd.Daemon.config ~addr ~jobs
         ~caps:
@@ -867,7 +939,9 @@ let serve_cmd =
         ~max_frame
         ?trace:(Option.map (fun path -> (c.trace_format, path)) c.trace)
         ~log:true ?journal ~journal_compact ?supervise ?max_inflight
-        ~max_outbuf ~signals:true ()
+        ~max_outbuf ~signals:true
+        ?metrics_addr:(Option.map parse_listen_addr metrics_addr)
+        ~telemetry:(not no_telemetry) ?flight_dump ~flight_capacity ()
     in
     let* () = Omqd.Daemon.run cfg in
     Ok 0
@@ -884,11 +958,15 @@ let serve_cmd =
           response and the daemon keeps serving. With $(b,--journal) the \
           daemon is crash-recoverable (journal-before-ack); with \
           $(b,--supervise) wedged worker domains are quarantined and \
-          their sessions replayed.")
+          their sessions replayed. With $(b,--metrics-addr) the daemon \
+          also answers Prometheus scrapes; $(b,omq_tool top) renders the \
+          same telemetry live.")
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ max_frame_arg
       $ journal_arg $ journal_compact_arg $ supervise_arg $ max_inflight_arg
-      $ max_outbuf_arg $ common_term)
+      $ max_outbuf_arg $ metrics_addr_arg $ log_format_arg $ log_level_arg
+      $ flight_dump_arg $ no_telemetry_arg $ flight_capacity_arg
+      $ common_term)
 
 let request_cmd =
   let frames_arg =
@@ -1026,6 +1104,162 @@ let loadgen_cmd =
       const run $ socket_arg $ host_arg $ port_arg $ ontology_arg $ data_arg
       $ query_arg $ clients_arg $ queries_arg $ bound_arg $ common_term)
 
+(* ------------------------------------------------------------------ *)
+(* top: live per-worker view of a running daemon. Polls stats +
+   dump_telemetry over the ordinary wire protocol — no metrics
+   endpoint needed — and derives rps from the served delta between
+   polls. *)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (clamped to >= 0.1).")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) frames; 0 polls until interrupted.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single frame and exit (no screen clearing).")
+  in
+  let module J = P.Json in
+  let jnum ?(default = Float.nan) name j =
+    match J.member name j with Some (J.Num n) -> n | _ -> default
+  in
+  let jint name j =
+    match J.member name j with Some (J.Num n) -> int_of_float n | _ -> 0
+  in
+  let fmt_ms v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v in
+  let fmt_busy v =
+    if Float.is_nan v then "idle" else Printf.sprintf "%.3fs" v
+  in
+  let render_frame ~clear ~rps stats telemetry =
+    let buf = Buffer.create 1024 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    (match stats with
+    | P.Server_stats s ->
+        pr "omq_tool top — daemon %s — up %.1fs\n"
+          (if s.server_version = "" then "(pre-telemetry)"
+           else "v" ^ s.server_version)
+          s.uptime_s;
+        pr
+          "served %d (%s)  errors %d  inflight %d  sessions %d  journal %d \
+           B / %d entries\n"
+          s.served
+          (match rps with
+          | Some r -> Printf.sprintf "%.1f rps" r
+          | None -> "rps: warming up")
+          s.errors s.inflight s.sessions s.journal_bytes s.journal_entries;
+        let named prefix =
+          match s.counters with
+          | J.Obj ms ->
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | J.Num n
+                    when String.length k >= String.length prefix
+                         && String.sub k 0 (String.length prefix) = prefix ->
+                      Some
+                        (Printf.sprintf "%s=%d"
+                           (String.sub k (String.length prefix)
+                              (String.length k - String.length prefix))
+                           (int_of_float n))
+                  | _ -> None)
+                ms
+          | _ -> []
+        in
+        let line label prefix =
+          match named prefix with
+          | [] -> ()
+          | xs -> pr "%s: %s\n" label (String.concat "  " xs)
+        in
+        line "supervision" "serve.supervision.";
+        line "chaos" "serve.chaos."
+    | _ -> pr "omq_tool top — stats unavailable\n");
+    (match telemetry with
+    | Some (P.Telemetry { telemetry = t }) ->
+        pr "latency ms: p50 %s  p95 %s  p99 %s    flight %d spans (%d \
+            dropped)\n"
+          (fmt_ms (jnum "p50_ms" t))
+          (fmt_ms (jnum "p95_ms" t))
+          (fmt_ms (jnum "p99_ms" t))
+          (jint "flight_total" t) (jint "flight_dropped" t);
+        (match J.member "workers" t with
+        | Some (J.Arr rows) when rows <> [] ->
+            pr "%6s  %8s  %8s  %9s  %14s  %9s\n" "worker" "sessions"
+              "requests" "busy" "major_words" "minor_gcs";
+            List.iter
+              (fun row ->
+                pr "%6d  %8d  %8d  %9s  %14.0f  %9d\n" (jint "domain" row)
+                  (jint "sessions" row) (jint "requests" row)
+                  (fmt_busy (jnum "busy_s" row))
+                  (jnum ~default:0.0 "gc_major_words" row)
+                  (jint "gc_minor_collections" row))
+              rows
+        | _ -> ())
+    | Some _ | None -> pr "telemetry: unavailable (daemon too old?)\n");
+    if clear then print_string "\027[H\027[2J";
+    print_string (Buffer.contents buf);
+    flush stdout
+  in
+  let run socket host port interval iterations once =
+    run_result @@ fun () ->
+    let* addr = addr_of socket host port in
+    let* client = Omqd.Client.connect addr in
+    let interval = Float.max 0.1 interval in
+    let frames = if once then 1 else iterations in
+    let clear = (not once) && Unix.isatty Unix.stdout in
+    let prev = ref None in
+    let rec poll i =
+      if frames > 0 && i >= frames then Ok 0
+      else
+        let* stats = Omqd.Client.call client P.Stats in
+        let telemetry =
+          match Omqd.Client.call client P.Dump_telemetry with
+          | Ok (P.Telemetry _ as t) -> Some t
+          | Ok _ | Error _ -> None
+        in
+        let now = Obs.Clock.now () in
+        let rps =
+          match (stats, !prev) with
+          | P.Server_stats s, Some (served0, t0) when now > t0 ->
+              Some (float_of_int (s.served - served0) /. (now -. t0))
+          | _ -> None
+        in
+        (match stats with
+        | P.Server_stats s -> prev := Some (s.served, now)
+        | _ -> ());
+        render_frame ~clear ~rps stats telemetry;
+        if frames > 0 && i + 1 >= frames then Ok 0
+        else begin
+          Unix.sleepf interval;
+          poll (i + 1)
+        end
+    in
+    let result = poll 0 in
+    Omqd.Client.close client;
+    result
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits
+       ~doc:
+         "Live view of a running $(b,serve) daemon: polls $(b,stats) and \
+          $(b,dump_telemetry) over the wire protocol and renders uptime, \
+          throughput (derived from the served delta between polls), \
+          latency quantiles, supervision/chaos counters and a per-worker \
+          table (sessions, requests, busy time, GC). Use $(b,--once) for \
+          a single machine-greppable frame.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ interval_arg
+      $ iterations_arg $ once_arg)
+
 let () =
   let doc = "Ontology-mediated querying with the guarded fragment (PODS'17 reproduction)." in
   let cmd =
@@ -1039,6 +1273,7 @@ let () =
         serve_cmd;
         request_cmd;
         loadgen_cmd;
+        top_cmd;
       ]
   in
   (* Map exits ourselves: cmdliner's defaults (cli_error = 124,

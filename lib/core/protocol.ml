@@ -251,6 +251,7 @@ type request =
   | Classify of { ontology : string }
   | Insert_facts of { session : int; facts : string }
   | Stats
+  | Dump_telemetry
   | Shutdown
 
 type classification = {
@@ -330,11 +331,17 @@ type response =
   | Inserted of { session : int; total_facts : int }
   | Server_stats of {
       uptime_s : float;
+      server_version : string;
       sessions : int;
       served : int;
       errors : int;
+      inflight : int;
+      journal_bytes : int;
+      journal_entries : int;
+      counters : Json.t;
       reasoner : Json.t;
     }
+  | Telemetry of { telemetry : Json.t }
   | Shutdown_ack
   | Rejected of { kind : error_kind; message : string }
 
@@ -392,6 +399,7 @@ let request_to_json ?id req =
           ("facts", jstr facts);
         ]
     | Stats -> [ ("op", jstr "stats") ]
+    | Dump_telemetry -> [ ("op", jstr "dump_telemetry") ]
     | Shutdown -> [ ("op", jstr "shutdown") ])
 
 let stats_field = function
@@ -447,15 +455,33 @@ let response_to_json ?id resp =
   | Inserted { session; total_facts } ->
       typed "insert_facts" "ok"
         [ ("session", jint session); ("total_facts", jint total_facts) ]
-  | Server_stats { uptime_s; sessions; served; errors; reasoner } ->
+  | Server_stats
+      {
+        uptime_s;
+        server_version;
+        sessions;
+        served;
+        errors;
+        inflight;
+        journal_bytes;
+        journal_entries;
+        counters;
+        reasoner;
+      } ->
       typed "stats" "ok"
         [
           ("uptime_s", Json.Num uptime_s);
+          ("version", jstr server_version);
           ("sessions", jint sessions);
           ("served", jint served);
           ("errors", jint errors);
+          ("inflight", jint inflight);
+          ("journal_bytes", jint journal_bytes);
+          ("journal_entries", jint journal_entries);
+          ("counters", counters);
           ("reasoner", reasoner);
         ]
+  | Telemetry { telemetry } -> typed "telemetry" "ok" [ ("telemetry", telemetry) ]
   | Shutdown_ack -> typed "shutdown" "ok" []
   | Rejected { kind; message } ->
       typed "error" "error"
@@ -500,6 +526,12 @@ let opt_int ms name =
   opt_or ms name None (fun v ->
       match as_exact_int v with
       | Some i -> Ok (Some i)
+      | None -> Error (Bad_request, name ^ " must be an integer"))
+
+let opt_int_default ms name default =
+  opt_or ms name default (fun v ->
+      match as_exact_int v with
+      | Some i -> Ok i
       | None -> Error (Bad_request, name ^ " must be an integer"))
 
 let opt_num ms name =
@@ -605,6 +637,7 @@ let request_of_json json =
       let* facts = req_str ms "facts" in
       Ok (Insert_facts { session; facts })
   | "stats" -> Ok Stats
+  | "dump_telemetry" -> Ok Dump_telemetry
   | "shutdown" -> Ok Shutdown
   | op -> Error (Bad_request, "unknown op " ^ op)
 
@@ -704,8 +737,31 @@ let response_of_json json =
       let* sessions = req_int ms "sessions" in
       let* served = req_int ms "served" in
       let* errors = req_int ms "errors" in
+      (* PR 8 additions decode leniently so a new client still reads a
+         pre-telemetry daemon's stats frame. *)
+      let* server_version = opt_str ms "version" "" in
+      let* inflight = opt_int_default ms "inflight" 0 in
+      let* journal_bytes = opt_int_default ms "journal_bytes" 0 in
+      let* journal_entries = opt_int_default ms "journal_entries" 0 in
+      let counters = Option.value ~default:Json.Null (field ms "counters") in
       let reasoner = Option.value ~default:Json.Null (field ms "reasoner") in
-      Ok (Server_stats { uptime_s; sessions; served; errors; reasoner })
+      Ok
+        (Server_stats
+           {
+             uptime_s;
+             server_version;
+             sessions;
+             served;
+             errors;
+             inflight;
+             journal_bytes;
+             journal_entries;
+             counters;
+             reasoner;
+           })
+  | "telemetry", "ok" ->
+      let telemetry = Option.value ~default:Json.Null (field ms "telemetry") in
+      Ok (Telemetry { telemetry })
   | "shutdown", "ok" -> Ok Shutdown_ack
   | "error", _ ->
       let* kind_name = req_str ms "error" in
@@ -755,7 +811,7 @@ let equal_request a b =
   | Classify a, Classify b -> String.equal a.ontology b.ontology
   | Insert_facts a, Insert_facts b ->
       Int.equal a.session b.session && String.equal a.facts b.facts
-  | Stats, Stats | Shutdown, Shutdown -> true
+  | Stats, Stats | Dump_telemetry, Dump_telemetry | Shutdown, Shutdown -> true
   | _ -> false
 
 let equal_tuples = List.equal (List.equal String.equal)
@@ -791,10 +847,16 @@ let equal_response a b =
       Int.equal a.session b.session && Int.equal a.total_facts b.total_facts
   | Server_stats a, Server_stats b ->
       Float.equal a.uptime_s b.uptime_s
+      && String.equal a.server_version b.server_version
       && Int.equal a.sessions b.sessions
       && Int.equal a.served b.served
       && Int.equal a.errors b.errors
+      && Int.equal a.inflight b.inflight
+      && Int.equal a.journal_bytes b.journal_bytes
+      && Int.equal a.journal_entries b.journal_entries
+      && Json.equal a.counters b.counters
       && Json.equal a.reasoner b.reasoner
+  | Telemetry a, Telemetry b -> Json.equal a.telemetry b.telemetry
   | Shutdown_ack, Shutdown_ack -> true
   | Rejected a, Rejected b ->
       a.kind = b.kind && String.equal a.message b.message

@@ -80,6 +80,9 @@ type request =
                            the union instance, on the same worker *)
     }
   | Stats
+  | Dump_telemetry
+      (** live telemetry snapshot: flight-recorder ring, per-worker
+          rows, server-side latency quantiles *)
   | Shutdown
 
 (** {1 Responses} *)
@@ -153,11 +156,24 @@ type response =
   | Inserted of { session : int; total_facts : int }
   | Server_stats of {
       uptime_s : float;
+      server_version : string;
+          (** daemon build version (wire field ["version"]; empty when
+              talking to a pre-telemetry daemon) *)
       sessions : int;
       served : int;  (** responses sent, errors included *)
       errors : int;
+      inflight : int;  (** requests currently on worker domains *)
+      journal_bytes : int;  (** 0 when serving without [--journal] *)
+      journal_entries : int;  (** entries appended since this start *)
+      counters : Json.t;
+          (** daemon-side [serve.*] counters (supervision, chaos, shed,
+              journal) as one flat object; [Null] from old daemons *)
       reasoner : Json.t;  (** summed per-worker {!Reasoner.Stats} *)
     }
+  | Telemetry of { telemetry : Json.t }
+      (** [dump_telemetry] payload: flight-recorder records, per-worker
+          rows and latency quantiles — schema documented in README
+          "Live telemetry" *)
   | Shutdown_ack
   | Rejected of { kind : error_kind; message : string }
 

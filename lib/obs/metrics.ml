@@ -1,13 +1,40 @@
 (* A named metrics registry: monotonic counters, last-value gauges and
-   summary histograms (count/sum/min/max). Names are stable snake_case
-   (dots for namespacing) — they become JSON keys, so renaming one is a
-   schema change for every consumer of BENCH_*.json. *)
+   bucketed histograms (count/sum/min/max plus log-spaced buckets for
+   quantile estimation). Names are stable snake_case (dots for
+   namespacing) — they become JSON keys, so renaming one is a schema
+   change for every consumer of BENCH_*.json. *)
+
+(* Log-spaced bucket upper bounds shared by every histogram: 1-2.5-5
+   steps over nine decades, 1e-6 .. 1e3. Latencies are seconds, so this
+   spans a microsecond to a quarter hour; the shared static layout is
+   what makes cross-domain merge an elementwise sum. *)
+let bucket_bounds =
+  let bounds = ref [] in
+  for e = 2 downto -6 do
+    let d = 10.0 ** float_of_int e in
+    bounds := (1.0 *. d) :: (2.5 *. d) :: (5.0 *. d) :: !bounds
+  done;
+  Array.of_list (!bounds @ [ 1000.0 ])
+
+let n_buckets = Array.length bucket_bounds + 1 (* + overflow *)
+
+(* Index of the first bound >= v, or the overflow slot. The bounds
+   array is tiny (28 entries) and the scan is branch-predictable, so a
+   linear walk beats binary search in practice. *)
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let i = ref 0 in
+  while !i < n && v > bucket_bounds.(!i) do
+    incr i
+  done;
+  !i
 
 type histogram = {
   mutable count : int;
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  buckets : int array; (* buckets.(i) = observations <= bucket_bounds.(i) *)
 }
 
 type metric =
@@ -56,16 +83,25 @@ let set t name v =
   | Gauge r -> r := v
   | Counter _ | Histogram _ -> invalid_arg ("Metrics.set: " ^ name ^ " is not a gauge")
 
+let new_histogram () =
+  Histogram
+    {
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      buckets = Array.make n_buckets 0;
+    }
+
 let observe t name v =
-  match
-    find_or_add t name (fun () ->
-        Histogram { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity })
-  with
+  match find_or_add t name new_histogram with
   | Histogram h ->
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
       if v < h.min_v then h.min_v <- v;
-      if v > h.max_v then h.max_v <- v
+      if v > h.max_v then h.max_v <- v;
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1
   | Counter _ | Gauge _ ->
       invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
 
@@ -84,10 +120,97 @@ let histogram_stats t name =
   | Some (Histogram h) -> Some (h.count, h.sum, h.min_v, h.max_v)
   | _ -> None
 
+let histogram_buckets t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> Some (Array.copy h.buckets)
+  | _ -> None
+
+(* Prometheus-style quantile estimate: find the bucket holding the
+   q-rank observation, then interpolate linearly inside it. The
+   estimate is clamped to the recorded [min, max], which both tightens
+   the tails and makes single-observation histograms exact. *)
+let quantile t name q =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) when h.count > 0 ->
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = q *. float_of_int h.count in
+      let cum = ref 0 in
+      let i = ref 0 in
+      let n = Array.length h.buckets in
+      while !i < n - 1 && float_of_int (!cum + h.buckets.(!i)) < rank do
+        cum := !cum + h.buckets.(!i);
+        i := !i + 1
+      done;
+      let lo = if !i = 0 then 0.0 else bucket_bounds.(!i - 1) in
+      let hi =
+        if !i >= Array.length bucket_bounds then h.max_v
+        else bucket_bounds.(!i)
+      in
+      let in_bucket = h.buckets.(!i) in
+      let est =
+        if in_bucket = 0 then hi
+        else
+          let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+          lo +. ((hi -. lo) *. frac)
+      in
+      let est = if est < h.min_v then h.min_v else est in
+      let est = if est > h.max_v then h.max_v else est in
+      Some est
+  | _ -> None
+
 let names t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
 
 let is_empty t = Hashtbl.length t.table = 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and cross-domain merge                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A snapshot is a deep copy taken on the owning domain; once taken it
+   is immutable by convention (nothing in this module mutates one), so
+   it can be handed to another domain — e.g. shipped in a completion
+   message from a worker to the select loop — without racing the DLS
+   registry it came from. *)
+type snapshot = (string * metric) list
+
+let snapshot t =
+  List.map
+    (fun name ->
+      let copy =
+        match Hashtbl.find t.table name with
+        | Counter r -> Counter (ref !r)
+        | Gauge r -> Gauge (ref !r)
+        | Histogram h ->
+            Histogram { h with buckets = Array.copy h.buckets }
+      in
+      (name, copy))
+    (names t)
+
+let merge_into t (snap : snapshot) =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter r -> incr ~by:!r t name
+      | Gauge r -> set t name !r
+      | Histogram h -> (
+          match find_or_add t name new_histogram with
+          | Histogram dst ->
+              dst.count <- dst.count + h.count;
+              dst.sum <- dst.sum +. h.sum;
+              if h.min_v < dst.min_v then dst.min_v <- h.min_v;
+              if h.max_v > dst.max_v then dst.max_v <- h.max_v;
+              Array.iteri
+                (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n)
+                h.buckets
+          | Counter _ | Gauge _ ->
+              invalid_arg ("Metrics.merge: " ^ name ^ " is not a histogram")))
+    snap
+
+let merge_snapshots snaps =
+  let t = create () in
+  List.iter (merge_into t) snaps;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)

@@ -6,8 +6,9 @@
     so renaming one is a schema change for downstream consumers.
 
     Counters are monotonic ints, gauges hold the last value set,
-    histograms keep a summary (count/sum/min/max/mean). Re-using a name
-    with a different metric kind raises [Invalid_argument]. *)
+    histograms keep a summary (count/sum/min/max/mean) plus log-spaced
+    buckets for quantile estimation. Re-using a name with a different
+    metric kind raises [Invalid_argument]. *)
 
 type t
 
@@ -40,6 +41,40 @@ val gauge_value : t -> string -> float option
 
 (** [(count, sum, min, max)] of a histogram, if present. *)
 val histogram_stats : t -> string -> (int * float * float * float) option
+
+(** The static log-spaced bucket upper bounds shared by every histogram
+    (1-2.5-5 steps per decade over 1e-6 .. 1e3, seconds). The shared
+    layout is what makes {!merge_snapshots} an elementwise sum. *)
+val bucket_bounds : float array
+
+(** Per-bucket observation counts of a histogram (a fresh copy; index
+    [i] counts observations [<= bucket_bounds.(i)], with one final
+    overflow slot). *)
+val histogram_buckets : t -> string -> int array option
+
+(** [quantile t name q] estimates the [q]-quantile ([0..1]) of a
+    histogram by linear interpolation inside the bucket holding the
+    q-rank observation, clamped to the recorded min/max. [None] if the
+    name is not a histogram or has no observations. *)
+val quantile : t -> string -> float -> float option
+
+(** An immutable deep copy of a registry, safe to hand across domains.
+    Take it on the domain that owns the registry (e.g. inside a worker
+    job) and merge it wherever the aggregate view lives. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Merge one snapshot into an existing registry: counters add, gauges
+    take the snapshot's value, histograms sum count/sum/buckets and
+    widen min/max. *)
+val merge_into : t -> snapshot -> unit
+
+(** Fold a list of snapshots into a fresh registry ([merge_into] left
+    to right, so later gauges win). Equivalent to having replayed all
+    the underlying operations into one registry, for every metric kind
+    except gauges (last write wins by list order). *)
+val merge_snapshots : snapshot list -> t
 
 (** Registered metric names, sorted. *)
 val names : t -> string list

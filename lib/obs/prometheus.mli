@@ -1,0 +1,26 @@
+(** Prometheus text exposition (format 0.0.4) for {!Metrics}
+    registries.
+
+    Naming: dotted registry names map to ['_']-separated Prometheus
+    names (every character outside [[a-zA-Z0-9_:]] becomes ['_']);
+    counters additionally get the conventional ["_total"] suffix, so
+    ["serve.requests"] is scraped as ["serve_requests_total"].
+    Histograms render cumulative ["_bucket{le=...}"] series over
+    {!Metrics.bucket_bounds} plus ["_sum"]/["_count"]. *)
+
+(** Map a dotted metric name to its Prometheus name (no kind suffix). *)
+val mangle : string -> string
+
+(** Prometheus name of a counter (mangled, ["_total"]-suffixed). *)
+val counter_name : string -> string
+
+(** [render sources] renders one exposition document over several
+    registries distinguished by their label sets (e.g. the daemon's
+    loop registry unlabelled plus one registry per worker labelled
+    [domain="i"]). Samples sharing a name are grouped under a single
+    [# HELP]/[# TYPE] block. [help] supplies help text per dotted
+    name; the default help is ["omq metric <name>"]. *)
+val render :
+  ?help:(string -> string option) ->
+  ((string * string) list * Metrics.t) list ->
+  string

@@ -53,8 +53,13 @@ type config = {
   shutdown_grace : float;
   signals : bool;
   chaos : Chaos.t option;
+  metrics_addr : addr option;
+  telemetry : bool;
+  flight_dump : string option;
+  flight_capacity : int;
 }
 
+let version = "0.8.0"
 let default_max_frame = 8 * 1024 * 1024
 let default_max_outbuf = 64 * 1024 * 1024
 let default_journal_compact = 1024 * 1024
@@ -64,7 +69,9 @@ let config ~addr ?(jobs = 1) ?(caps = P.no_budget)
     ?(max_frame = default_max_frame) ?trace ?(log = false) ?journal
     ?(journal_compact = default_journal_compact) ?supervise ?max_inflight
     ?(max_outbuf = default_max_outbuf)
-    ?(shutdown_grace = default_shutdown_grace) ?(signals = false) ?chaos () =
+    ?(shutdown_grace = default_shutdown_grace) ?(signals = false) ?chaos
+    ?metrics_addr ?(telemetry = true) ?flight_dump
+    ?(flight_capacity = Telemetry.default_capacity) () =
   {
     addr;
     jobs;
@@ -80,6 +87,10 @@ let config ~addr ?(jobs = 1) ?(caps = P.no_budget)
     shutdown_grace;
     signals;
     chaos;
+    metrics_addr;
+    telemetry;
+    flight_dump;
+    flight_capacity;
   }
 
 let metric ?by name = Obs.Metrics.incr ?by (Obs.Metrics.global ()) name
@@ -110,6 +121,10 @@ type completion = {
   register : reg option;
   worker : int;
   wstats : S.t;  (** cumulative snapshot of the worker's Stats.global *)
+  msnap : Obs.Metrics.snapshot option;
+      (** the worker's metrics registry (GC gauges included), snapshot
+          at completion on the worker — the loop merges it at scrape
+          time instead of racing the worker's DLS *)
   trace : Obs.Trace.t option;
 }
 
@@ -123,6 +138,9 @@ type pend = {
   rid : int option;
   worker : int;
   replay_sid : int option;
+  op : string;
+  sid : int;  (** session the request addresses; -1 = none *)
+  submitted_s : float;  (** loop-clock submit time, for flight dur *)
 }
 
 type conn = {
@@ -137,6 +155,16 @@ type conn = {
   mutable outpos : int;
 }
 
+(* A /metrics scrape connection: plain HTTP/1.0 on the same select
+   loop. One request, one response, close. *)
+type hconn = {
+  hid : int;
+  hfd : Unix.file_descr;
+  hin : Buffer.t;
+  mutable hout : string;
+  mutable houtpos : int;
+}
+
 type state = {
   cfg : config;
   service : completion Parallel.Service.t;
@@ -148,6 +176,12 @@ type state = {
       (** sids being rebuilt after a quarantine or at startup; requests
           for them are rejected with the retryable [Worker_lost] *)
   worker_stats : S.t array;
+  worker_msnaps : Obs.Metrics.snapshot option array;
+      (** latest per-worker metrics snapshot (GC gauges etc.) *)
+  served_by_worker : int array;
+  flight : Telemetry.t;
+  http : (int, hconn) Hashtbl.t;
+  mutable next_hid : int;
   start_s : float;
   mutable journal : Journal.t option;
   mutable next_sid : int;
@@ -305,10 +339,31 @@ let new_token st =
    decision stream totally ordered); the poisoned job wedges forever,
    exactly what supervision must detect. Replay jobs are never
    poisoned: recovery must make progress. *)
-let submit_raw st ~conn_id ~rid ~worker ~replay_sid ~op make =
+(* GC sampling cadence on a worker: job 0, then every Nth. The counter
+   is DLS so each worker domain ticks its own. *)
+let gc_sample_every = 32
+let gc_sample_tick = Domain.DLS.new_key (fun () -> ref 0)
+
+let tick_gc_sample () =
+  let c = Domain.DLS.get gc_sample_tick in
+  let n = !c in
+  c := n + 1;
+  n mod gc_sample_every = 0
+
+let submit_raw st ~conn_id ~rid ~worker ~replay_sid ?(sid = -1) ~op make =
   let token = new_token st in
-  Hashtbl.replace st.pending token { conn_id; rid; worker; replay_sid };
+  Hashtbl.replace st.pending token
+    {
+      conn_id;
+      rid;
+      worker;
+      replay_sid;
+      op;
+      sid;
+      submitted_s = Obs.Clock.now ();
+    };
   let tracing = st.tracing in
+  let telemetry = Telemetry.enabled st.flight in
   let make =
     match st.cfg.chaos with
     | Some ch when replay_sid = None && Chaos.poison_now ch ~worker ->
@@ -338,10 +393,29 @@ let submit_raw st ~conn_id ~rid ~worker ~replay_sid ~op make =
           (r, Some col)
         else (job (), None)
       in
-      { token; resp; register; worker; wstats = S.copy (S.global ()); trace })
+      (* Per-request-batch GC sampling (the instrument ROADMAP item 3
+         asks for): quick_stat is cheap and runs on the worker, so the
+         gauges land in the worker's own DLS registry; the snapshot
+         ships the whole registry to the loop in the completion.
+         Sampling every completion would tax the hot path (and, on
+         starved hosts, amplify domain thrash), so each worker samples
+         its first job and then every [gc_sample_every]th; the loop
+         keeps the last shipped snapshot in between. *)
+      let msnap =
+        if telemetry && tick_gc_sample () then begin
+          let g = Obs.Metrics.global () in
+          let q = Gc.quick_stat () in
+          Obs.Metrics.set g "gc.major_words" q.Gc.major_words;
+          Obs.Metrics.set g "gc.minor_collections"
+            (float_of_int q.Gc.minor_collections);
+          Some (Obs.Metrics.snapshot g)
+        end
+        else None
+      in
+      { token; resp; register; worker; wstats = S.copy (S.global ()); msnap; trace })
 
-let submit_job st conn rid ~worker ~op make =
-  submit_raw st ~conn_id:conn.id ~rid ~worker ~replay_sid:None ~op make
+let submit_job st conn rid ~worker ?sid ~op make =
+  submit_raw st ~conn_id:conn.id ~rid ~worker ~replay_sid:None ?sid ~op make
 
 let open_job ~sid ~worker ~ontology ~data ~query ~max_extra () =
   let ( let* ) r f =
@@ -475,7 +549,8 @@ let maybe_compact st =
         metric "serve.journal.compactions"
       with Unix.Unix_error (e, _, _) ->
         if st.cfg.log then
-          Fmt.epr "omqd: journal compaction failed: %s@." (Unix.error_message e))
+          Obs.Log.error "journal compaction failed"
+            ~fields:[ Obs.Log.Str ("error", Unix.error_message e) ])
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -495,17 +570,243 @@ let replay_pending sid =
       message = Printf.sprintf "session %d is being replayed; retry" sid;
     }
 
+(* The daemon-side serve.* counters (journal, shed, supervision, chaos)
+   as one flat JSON object, read out of the loop registry. *)
+let serve_counters () =
+  let g = Obs.Metrics.global () in
+  let members =
+    List.filter_map
+      (fun name ->
+        if String.length name >= 6 && String.sub name 0 6 = "serve." then
+          match Obs.Metrics.counter_value g name with
+          | Some v -> Some (name, P.Json.Num (float_of_int v))
+          | None -> None
+        else None)
+      (Obs.Metrics.names g)
+  in
+  P.Json.Obj members
+
+let journal_entry_count () =
+  Option.value ~default:0
+    (Obs.Metrics.counter_value (Obs.Metrics.global ()) "serve.journal.appends")
+
 let server_stats st =
   let total = S.create () in
   Array.iter (fun w -> S.add ~into:total w) st.worker_stats;
   P.Server_stats
     {
       uptime_s = Obs.Clock.now () -. st.start_s;
+      server_version = version;
       sessions = Hashtbl.length st.sessions;
       served = st.served;
       errors = st.errors;
+      inflight = Parallel.Service.in_flight st.service;
+      journal_bytes =
+        (match st.journal with Some j -> Journal.size j | None -> 0);
+      journal_entries = journal_entry_count ();
+      counters = serve_counters ();
       reasoner = stats_json total;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Live telemetry: the dump payload (SIGUSR1 + dump_telemetry) and the
+   Prometheus scrape. Both run on the loop domain over loop-owned
+   state; worker registries enter only as completion-shipped
+   snapshots, never by touching another domain's DLS. *)
+
+let worker_sessions st w =
+  Hashtbl.fold
+    (fun _ (se : sess) n -> if se.worker = w then n + 1 else n)
+    st.sessions 0
+
+(* Gauge lookup inside a shipped snapshot: merge it into a scratch
+   registry (snapshots are tiny — a handful of gauges). *)
+let snap_gauge snap name =
+  match snap with
+  | None -> None
+  | Some snap ->
+      Obs.Metrics.gauge_value (Obs.Metrics.merge_snapshots [ snap ]) name
+
+let quantile_ms name q =
+  Obs.Metrics.quantile (Obs.Metrics.global ()) name q
+  |> Option.map (fun s -> s *. 1000.0)
+
+let jnum_opt = function
+  | Some v -> Obs.Json.number v
+  | None -> "null"
+
+let telemetry_json st =
+  let now = Obs.Clock.now () in
+  let jobs = Parallel.Service.jobs st.service in
+  let worker_row w =
+    let snap = st.worker_msnaps.(w) in
+    Obs.Json.obj
+      [
+        ("domain", string_of_int w);
+        ("sessions", string_of_int (worker_sessions st w));
+        ("requests", string_of_int st.served_by_worker.(w));
+        ( "busy_s",
+          match Parallel.Service.busy_since st.service ~worker:w with
+          | Some t -> Obs.Json.number (now -. t)
+          | None -> "null" );
+        ("gc_major_words", jnum_opt (snap_gauge snap "gc.major_words"));
+        ( "gc_minor_collections",
+          jnum_opt (snap_gauge snap "gc.minor_collections") );
+      ]
+  in
+  let extra =
+    [
+      ("ts", Obs.Json.number now);
+      ("version", Obs.Json.escape version);
+      ("uptime_s", Obs.Json.number (now -. st.start_s));
+      ("sessions", string_of_int (Hashtbl.length st.sessions));
+      ("inflight", string_of_int (Parallel.Service.in_flight st.service));
+      ("served", string_of_int st.served);
+      ("errors", string_of_int st.errors);
+      ("journal_bytes",
+       string_of_int
+         (match st.journal with Some j -> Journal.size j | None -> 0));
+      ("journal_entries", string_of_int (journal_entry_count ()));
+      ("p50_ms", jnum_opt (quantile_ms "serve.request.seconds" 0.50));
+      ("p95_ms", jnum_opt (quantile_ms "serve.request.seconds" 0.95));
+      ("p99_ms", jnum_opt (quantile_ms "serve.request.seconds" 0.99));
+      ("workers", Obs.Json.arr (List.init jobs worker_row));
+    ]
+  in
+  Telemetry.to_json ~extra st.flight
+
+(* The exposition: the loop registry (request counters/latency
+   histogram, shed/journal/supervision counters, loop GC) unlabelled,
+   plus each worker's last snapshot as domain="i". Point-in-time
+   gauges are refreshed here, at scrape time. *)
+let scrape st =
+  let g = Obs.Metrics.global () in
+  let now = Obs.Clock.now () in
+  Obs.Metrics.set g "serve.uptime_seconds" (now -. st.start_s);
+  Obs.Metrics.set g "serve.sessions" (float_of_int (Hashtbl.length st.sessions));
+  Obs.Metrics.set g "serve.inflight"
+    (float_of_int (Parallel.Service.in_flight st.service));
+  Obs.Metrics.set g "serve.connections"
+    (float_of_int (Hashtbl.length st.conns));
+  let q = Gc.quick_stat () in
+  Obs.Metrics.set g "gc.major_words" q.Gc.major_words;
+  Obs.Metrics.set g "gc.minor_collections" (float_of_int q.Gc.minor_collections);
+  let workers =
+    List.filter_map
+      (fun w ->
+        match st.worker_msnaps.(w) with
+        | None -> None
+        | Some snap ->
+            Some
+              ( [ ("domain", string_of_int w) ],
+                Obs.Metrics.merge_snapshots [ snap ] ))
+      (List.init (Array.length st.worker_msnaps) Fun.id)
+  in
+  Obs.Prometheus.render (([], g) :: workers)
+
+(* ------------------------------------------------------------------ *)
+(* The /metrics HTTP listener: HTTP/1.0, GET only, close after one
+   response — small enough to live on the select loop without an HTTP
+   dependency. *)
+
+let close_http st (h : hconn) =
+  Hashtbl.remove st.http h.hid;
+  try Unix.close h.hfd with Unix.Unix_error _ -> ()
+
+let http_pending_out (h : hconn) = String.length h.hout > h.houtpos
+
+let try_flush_http st (h : hconn) =
+  let rec go () =
+    let len = String.length h.hout - h.houtpos in
+    if len = 0 then close_http st h
+    else
+      match Unix.write_substring h.hfd h.hout h.houtpos len with
+      | 0 -> ()
+      | n ->
+          h.houtpos <- h.houtpos + n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_http st h
+  in
+  go ()
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let contains_blank_line s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then false
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then true
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then true
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let http_route st line =
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ ->
+      let path =
+        match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      if meth <> "GET" then
+        http_response ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "method not allowed\n"
+      else if path = "/metrics" then
+        http_response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8" (scrape st)
+      else if path = "/telemetry" then
+        http_response ~status:"200 OK" ~content_type:"application/json"
+          (telemetry_json st ^ "\n")
+      else
+        http_response ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found; try /metrics or /telemetry\n"
+  | _ ->
+      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "bad request\n"
+
+let handle_http_readable st (h : hconn) =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    if Hashtbl.mem st.http h.hid then
+      match Unix.read h.hfd buf 0 (Bytes.length buf) with
+      | 0 -> if not (http_pending_out h) then close_http st h
+      | n ->
+          Buffer.add_subbytes h.hin buf 0 n;
+          (* a request buffer that never completes must not grow without
+             bound *)
+          if Buffer.length h.hin > 16384 then close_http st h
+          else begin
+            let data = Buffer.contents h.hin in
+            if h.hout = "" && contains_blank_line data then begin
+              let line =
+                match String.index_opt data '\n' with
+                | Some i ->
+                    let l = String.sub data 0 i in
+                    if l <> "" && l.[String.length l - 1] = '\r' then
+                      String.sub l 0 (String.length l - 1)
+                    else l
+                | None -> data
+              in
+              h.hout <- http_route st line;
+              try_flush_http st h
+            end;
+            go ()
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_http st h
+  in
+  go ()
 
 let next_worker st =
   let w = st.rr mod Parallel.Service.jobs st.service in
@@ -533,7 +834,7 @@ let dispatch st conn rid (req : P.request) =
         let sid = st.next_sid in
         st.next_sid <- sid + 1;
         let worker = next_worker st in
-        submit_job st conn rid ~worker ~op:"open_session"
+        submit_job st conn rid ~worker ~sid ~op:"open_session"
           (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
       end
   | P.Close_session { session } ->
@@ -559,7 +860,7 @@ let dispatch st conn rid (req : P.request) =
         | Some se ->
             if shed st then respond st conn rid overloaded
             else
-              submit_job st conn rid ~worker:se.worker ~op:"eval"
+              submit_job st conn rid ~worker:se.worker ~sid:session ~op:"eval"
                 (eval_job st se budget want_stats))
   | P.Classify { ontology } ->
       if shed st then respond st conn rid overloaded
@@ -575,9 +876,16 @@ let dispatch st conn rid (req : P.request) =
         | Some se ->
             if shed st then respond st conn rid overloaded
             else
-              submit_job st conn rid ~worker:se.worker ~op:"insert_facts"
-                (insert_job se session facts))
+              submit_job st conn rid ~worker:se.worker ~sid:session
+                ~op:"insert_facts" (insert_job se session facts))
   | P.Stats -> respond st conn rid (server_stats st)
+  | P.Dump_telemetry ->
+      let telemetry =
+        match P.Json.parse (telemetry_json st) with
+        | Ok j -> j
+        | Error _ -> P.Json.Null
+      in
+      respond st conn rid (P.Telemetry { telemetry })
   | P.Shutdown ->
       st.shutting <- true;
       st.shut_deadline <- Obs.Clock.now () +. st.cfg.shutdown_grace;
@@ -681,7 +989,7 @@ let handle_readable st conn =
 
 let submit_replay st ~sid ~worker ~ontology ~data ~query ~max_extra =
   Hashtbl.replace st.replaying sid ();
-  submit_raw st ~conn_id:(-1) ~rid:None ~worker ~replay_sid:(Some sid)
+  submit_raw st ~conn_id:(-1) ~rid:None ~worker ~replay_sid:(Some sid) ~sid
     ~op:"replay_session"
     (open_job ~sid ~worker ~ontology ~data ~query ~max_extra)
 
@@ -691,6 +999,28 @@ let handle_completion st (c : completion) =
   | Some p -> (
       Hashtbl.remove st.pending c.token;
       st.worker_stats.(c.worker) <- c.wstats;
+      (* One load + branch when telemetry is off; otherwise the flight
+         record, the latency histogram and the per-worker snapshot. *)
+      if Telemetry.enabled st.flight then begin
+        let now = Obs.Clock.now () in
+        let dur_s = now -. p.submitted_s in
+        let g = Obs.Metrics.global () in
+        Obs.Metrics.incr g "serve.requests";
+        Obs.Metrics.observe g "serve.request.seconds" dur_s;
+        st.served_by_worker.(c.worker) <- st.served_by_worker.(c.worker) + 1;
+        (match c.msnap with
+        | Some _ -> st.worker_msnaps.(c.worker) <- c.msnap
+        | None -> ());
+        Telemetry.record st.flight
+          {
+            Telemetry.ts_s = now;
+            op = (if p.replay_sid <> None then "recovery" else p.op);
+            outcome = outcome_of c.resp;
+            worker = c.worker;
+            session = p.sid;
+            dur_s;
+          }
+      end;
       (match c.trace with
       | Some col -> (
           match Obs.Trace.active () with
@@ -709,10 +1039,16 @@ let handle_completion st (c : completion) =
               Hashtbl.remove st.sessions sid;
               metric "serve.supervision.sessions_lost";
               if st.cfg.log then
-                Fmt.epr "omqd: session %d lost (replay failed: %s)@." sid
-                  (match c.resp with
-                  | P.Rejected { message; _ } -> message
-                  | _ -> "unexpected response"))
+                Obs.Log.warn "session lost: replay failed"
+                  ~fields:
+                    [
+                      Obs.Log.Int ("session", sid);
+                      Obs.Log.Str
+                        ( "error",
+                          match c.resp with
+                          | P.Rejected { message; _ } -> message
+                          | _ -> "unexpected response" );
+                    ])
       | None ->
           (* Journal-before-ack: the entry that acknowledges the state
              change (the head of the registered session's log) must be
@@ -750,7 +1086,8 @@ let handle_completion st (c : completion) =
 let quarantine st w =
   let _discarded = Parallel.Service.replace st.service ~worker:w in
   metric "serve.supervision.quarantines";
-  if st.cfg.log then Fmt.epr "omqd: worker %d quarantined@." w;
+  if st.cfg.log then
+    Obs.Log.warn "worker quarantined" ~fields:[ Obs.Log.Int ("worker", w) ];
   let victims =
     Hashtbl.fold
       (fun tok p acc -> if p.worker = w then (tok, p) :: acc else acc)
@@ -826,6 +1163,7 @@ let listen_on = function
       fd
 
 let all_conns st = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
+let all_http st = Hashtbl.fold (fun _ h acc -> h :: acc) st.http []
 
 let no_pending_out st =
   Hashtbl.fold (fun _ c ok -> ok && not (pending_out c)) st.conns true
@@ -845,16 +1183,34 @@ let run ?(ready = fun () -> ()) cfg =
         with Invalid_argument _ | Sys_error _ -> ())
     | None -> ()
   in
-  match listen_on cfg.addr with
-  | exception Unix.Unix_error (e, fn, _) ->
+  (* Both listeners bind before serving starts: a misconfigured
+     --metrics-addr is a startup error, not a silently absent scrape
+     endpoint. *)
+  let bind_both () =
+    let which = ref cfg.addr in
+    try
+      let fd = listen_on cfg.addr in
+      match cfg.metrics_addr with
+      | None -> Ok (fd, None)
+      | Some a -> (
+          which := a;
+          match listen_on a with
+          | mfd -> Ok (fd, Some mfd)
+          | exception e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              raise e)
+    with
+    | Unix.Unix_error (e, fn, _) ->
+        Error
+          (Fmt.str "cannot listen on %a: %s (%s)" pp_addr !which
+             (Unix.error_message e) fn)
+    | Not_found -> Error (Fmt.str "cannot resolve %a" pp_addr !which)
+  in
+  match bind_both () with
+  | Error msg ->
       restore_pipe ();
-      Error
-        (Fmt.str "cannot listen on %a: %s (%s)" pp_addr cfg.addr
-           (Unix.error_message e) fn)
-  | exception Not_found ->
-      restore_pipe ();
-      Error (Fmt.str "cannot resolve %a" pp_addr cfg.addr)
-  | listen_fd ->
+      Error msg
+  | Ok (listen_fd, metrics_fd) ->
       let pipe_r, pipe_w = Unix.pipe () in
       Unix.set_nonblock pipe_r;
       Unix.set_nonblock pipe_w;
@@ -867,20 +1223,28 @@ let run ?(ready = fun () -> ()) cfg =
          shutdown wire op: the handler only flips a flag and nudges the
          self-pipe; the loop does the rest. *)
       let sig_requested = ref false in
+      (* SIGUSR1 = "dump the flight recorder": the handler only flips a
+         flag; the loop writes the dump between iterations. *)
+      let usr1_requested = ref false in
+      let install s flag =
+        try
+          Some
+            ( s,
+              Sys.signal s
+                (Sys.Signal_handle
+                   (fun _ ->
+                     flag := true;
+                     wakeup ())) )
+        with Invalid_argument _ | Sys_error _ -> None
+      in
       let prev_sigs =
         if cfg.signals then
-          List.filter_map
-            (fun s ->
-              try
-                Some
-                  ( s,
-                    Sys.signal s
-                      (Sys.Signal_handle
-                         (fun _ ->
-                           sig_requested := true;
-                           wakeup ())) )
-              with Invalid_argument _ | Sys_error _ -> None)
-            [ Sys.sigterm; Sys.sigint ]
+          List.filter_map Fun.id
+            [
+              install Sys.sigterm sig_requested;
+              install Sys.sigint sig_requested;
+              install Sys.sigusr1 usr1_requested;
+            ]
         else []
       in
       let restore_sigs () =
@@ -912,6 +1276,14 @@ let run ?(ready = fun () -> ()) cfg =
           pending = Hashtbl.create 31;
           replaying = Hashtbl.create 7;
           worker_stats = Array.init jobs (fun _ -> S.create ());
+          worker_msnaps = Array.make jobs None;
+          served_by_worker = Array.make jobs 0;
+          flight =
+            (let f = Telemetry.create ~capacity:cfg.flight_capacity () in
+             Telemetry.set_enabled f cfg.telemetry;
+             f);
+          http = Hashtbl.create 7;
+          next_hid = 0;
           start_s = Obs.Clock.now ();
           journal = None;
           next_sid = 0;
@@ -948,7 +1320,9 @@ let run ?(ready = fun () -> ()) cfg =
             (match status with
             | `Ok -> ()
             | `Corrupt msg ->
-                if cfg.log then Fmt.epr "omqd: journal: %s (entry skipped)@." msg);
+                if cfg.log then
+                  Obs.Log.warn "journal entry skipped"
+                    ~fields:[ Obs.Log.Str ("error", msg) ]);
             st.journal <- Some (Journal.open_ dir);
             st.next_sid <- Journal.max_sid entries + 1;
             let live = Journal.live_sessions entries in
@@ -980,14 +1354,67 @@ let run ?(ready = fun () -> ()) cfg =
                       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
                   done);
             if cfg.log then
-              Fmt.epr "omqd: recovered %d session%s from %s@."
-                (Hashtbl.length st.sessions)
-                (if Hashtbl.length st.sessions = 1 then "" else "s")
-                dir
+              Obs.Log.info "sessions recovered from journal"
+                ~fields:
+                  [
+                    Obs.Log.Int ("sessions", Hashtbl.length st.sessions);
+                    Obs.Log.Str ("journal", dir);
+                  ]
       in
       if cfg.log then
-        Fmt.epr "omqd: listening on %a (%d worker%s)@." pp_addr cfg.addr jobs
-          (if jobs = 1 then "" else "s");
+        Obs.Log.info "listening"
+          ~fields:
+            ([
+               Obs.Log.Str ("addr", Fmt.str "%a" pp_addr cfg.addr);
+               Obs.Log.Int ("workers", jobs);
+             ]
+            @
+            match cfg.metrics_addr with
+            | Some a ->
+                [ Obs.Log.Str ("metrics_addr", Fmt.str "%a" pp_addr a) ]
+            | None -> []);
+      (* The flight dump: to --flight-dump when set (write-whole-file;
+         a dump is small and rare), else one JSON line on stderr. *)
+      let dump_flight () =
+        let doc = telemetry_json st ^ "\n" in
+        match cfg.flight_dump with
+        | Some path -> (
+            try
+              let oc = open_out path in
+              output_string oc doc;
+              close_out oc;
+              if cfg.log then
+                Obs.Log.info "flight recorder dumped"
+                  ~fields:[ Obs.Log.Str ("path", path) ]
+            with Sys_error m ->
+              if cfg.log then
+                Obs.Log.error "flight dump failed"
+                  ~fields:[ Obs.Log.Str ("error", m) ])
+        | None ->
+            output_string stderr doc;
+            flush stderr
+      in
+      let rec accept_http mfd =
+        match Unix.accept mfd with
+        | cfd, _ ->
+            Unix.set_nonblock cfd;
+            let hid = st.next_hid in
+            st.next_hid <- hid + 1;
+            Hashtbl.replace st.http hid
+              {
+                hid;
+                hfd = cfd;
+                hin = Buffer.create 256;
+                hout = "";
+                houtpos = 0;
+              };
+            accept_http mfd
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_http mfd
+        | exception Unix.Unix_error _ -> ()
+      in
       let rec accept_all () =
         match Unix.accept listen_fd with
         | cfd, _ -> (
@@ -1026,7 +1453,11 @@ let run ?(ready = fun () -> ()) cfg =
         if !sig_requested && not st.shutting then begin
           st.shutting <- true;
           st.shut_deadline <- Obs.Clock.now () +. cfg.shutdown_grace;
-          if cfg.log then Fmt.epr "omqd: signal received, draining@."
+          if cfg.log then Obs.Log.info "signal received, draining"
+        end;
+        if !usr1_requested then begin
+          usr1_requested := false;
+          dump_flight ()
         end;
         if any_stash st then
           List.iter (fun c -> deliver_stash st c) (all_conns st);
@@ -1038,14 +1469,22 @@ let run ?(ready = fun () -> ()) cfg =
         let expired = st.shutting && Obs.Clock.now () > st.shut_deadline in
         if not (drained || expired) then begin
           let conns = all_conns st in
+          let https = all_http st in
           let rds =
             (pipe_r :: (if st.shutting then [] else [ listen_fd ]))
+            @ (match metrics_fd with
+              | Some mfd when not st.shutting -> [ mfd ]
+              | _ -> [])
             @ List.map (fun c -> c.fd) conns
+            @ List.map (fun h -> h.hfd) https
           in
           let wrs =
             List.filter_map
               (fun c -> if pending_out c then Some c.fd else None)
               conns
+            @ List.filter_map
+                (fun h -> if http_pending_out h then Some h.hfd else None)
+                https
           in
           let timeout =
             if any_stash st then 0.0
@@ -1060,6 +1499,10 @@ let run ?(ready = fun () -> ()) cfg =
           | rs, ws, _ ->
               if List.mem pipe_r rs then drain_pipe ();
               if (not st.shutting) && List.mem listen_fd rs then accept_all ();
+              (match metrics_fd with
+              | Some mfd when (not st.shutting) && List.mem mfd rs ->
+                  accept_http mfd
+              | _ -> ());
               List.iter
                 (fun c ->
                   if Hashtbl.mem st.conns c.id && List.mem c.fd ws then
@@ -1069,7 +1512,17 @@ let run ?(ready = fun () -> ()) cfg =
                 (fun c ->
                   if Hashtbl.mem st.conns c.id && List.mem c.fd rs then
                     handle_readable st c)
-                conns);
+                conns;
+              List.iter
+                (fun h ->
+                  if Hashtbl.mem st.http h.hid && List.mem h.hfd ws then
+                    try_flush_http st h)
+                https;
+              List.iter
+                (fun h ->
+                  if Hashtbl.mem st.http h.hid && List.mem h.hfd rs then
+                    handle_http_readable st h)
+                https);
           loop ()
         end
       in
@@ -1102,13 +1555,20 @@ let run ?(ready = fun () -> ()) cfg =
           Obs.Metrics.set_count g "serve.chaos.poisoned" poisoned
       | None -> ());
       List.iter (fun c -> close_conn st c) (all_conns st);
+      List.iter (fun h -> close_http st h) (all_http st);
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match metrics_fd with
+      | Some mfd -> ( try Unix.close mfd with Unix.Unix_error _ -> ())
+      | None -> ());
       (try Unix.close pipe_r with Unix.Unix_error _ -> ());
       (try Unix.close pipe_w with Unix.Unix_error _ -> ());
-      (match cfg.addr with
-      | Unix_path p -> (
-          try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
-      | Tcp _ -> ());
+      let unlink_path = function
+        | Unix_path p -> (
+            try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+        | Tcp _ -> ()
+      in
+      unlink_path cfg.addr;
+      Option.iter unlink_path cfg.metrics_addr;
       let result =
         match (root, cfg.trace) with
         | Some c, Some (fmt, path) -> (
@@ -1119,7 +1579,7 @@ let run ?(ready = fun () -> ()) cfg =
                 match result with Ok () -> Error m | Error _ -> result))
         | Some _, None | None, _ -> result
       in
-      if cfg.log then Fmt.epr "omqd: shut down@.";
+      if cfg.log then Obs.Log.info "shut down";
       restore_sigs ();
       restore_pipe ();
       result

@@ -71,15 +71,32 @@ type config = {
   max_inflight : int option;  (** admission cap; [None] = unbounded *)
   max_outbuf : int;  (** disconnect a conn whose unsent output exceeds this *)
   shutdown_grace : float;  (** drain deadline after shutdown/signal (s) *)
-  signals : bool;  (** route SIGTERM/SIGINT through graceful shutdown *)
+  signals : bool;
+      (** route SIGTERM/SIGINT through graceful shutdown, and dump the
+          flight recorder on SIGUSR1 *)
   chaos : Chaos.t option;
+  metrics_addr : addr option;
+      (** serve Prometheus text exposition on [GET /metrics] (and the
+          telemetry dump on [GET /telemetry]) at this address, plain
+          HTTP/1.0 on the same select loop; [None] = no endpoint *)
+  telemetry : bool;
+      (** flight recorder + request-latency histogram + batched
+          per-worker GC sampling (first job, then every 32nd); off
+          leaves one load+branch per completion *)
+  flight_dump : string option;
+      (** SIGUSR1 dump target; [None] = one JSON line on stderr *)
+  flight_capacity : int;  (** flight-recorder ring size *)
 }
+
+(** Daemon build version, reported in [stats] / telemetry dumps. *)
+val version : string
 
 (** Build a {!config}; every field but [addr] has the serving default
     ([jobs = 1], no caps, {!default_max_frame}, no trace, quiet, no
     journal, {!default_journal_compact}, no supervision, unbounded
     admission, {!default_max_outbuf}, {!default_shutdown_grace}, no
-    signal handlers, no chaos). *)
+    signal handlers, no chaos, no metrics endpoint, telemetry on,
+    flight dump to stderr, {!Telemetry.default_capacity}). *)
 val config :
   addr:addr ->
   ?jobs:int ->
@@ -95,6 +112,10 @@ val config :
   ?shutdown_grace:float ->
   ?signals:bool ->
   ?chaos:Chaos.t ->
+  ?metrics_addr:addr ->
+  ?telemetry:bool ->
+  ?flight_dump:string ->
+  ?flight_capacity:int ->
   unit ->
   config
 

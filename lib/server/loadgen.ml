@@ -99,12 +99,10 @@ let write_all fd s =
   in
   go 0
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
+(* Latencies go through the same bucketed histogram as the daemon's
+   serve.request.seconds — one code path for quantiles on both sides of
+   the wire, at O(buckets) memory instead of one float per request. *)
+let lat_metric = "loadgen.request.seconds"
 
 let run addr specs ~queries =
   if specs = [] then Error "loadgen: no clients"
@@ -136,7 +134,7 @@ let run addr specs ~queries =
                    ])
              specs)
       in
-      let latencies = ref [] in
+      let reg = Obs.Metrics.create () in
       let ok = ref 0 and tripped = ref 0 and errors = ref 0 in
       let mismatches = ref 0 in
       let t0 = Obs.Clock.now () in
@@ -178,7 +176,7 @@ let run addr specs ~queries =
                 | _ -> io_fail c)
             | `Running ->
                 let lat = Obs.Clock.now () -. c.sent_at in
-                latencies := lat :: !latencies;
+                Obs.Metrics.observe reg lat_metric lat;
                 (match resp with
                 | P.Evaled _ -> incr ok
                 | P.Partial _ | P.Decide_partial _ -> incr tripped
@@ -228,11 +226,12 @@ let run addr specs ~queries =
       in
       loop ();
       let seconds = Obs.Clock.now () -. t0 in
-      let lats = Array.of_list !latencies in
-      Array.sort Float.compare lats;
-      let total = Array.length lats in
-      let sum = Array.fold_left ( +. ) 0.0 lats in
+      let total, sum, _, max_v =
+        Option.value ~default:(0, 0.0, 0.0, 0.0)
+          (Obs.Metrics.histogram_stats reg lat_metric)
+      in
       let ms x = 1000.0 *. x in
+      let q p = ms (Option.value ~default:0.0 (Obs.Metrics.quantile reg lat_metric p)) in
       Ok
         {
           clients = List.length specs;
@@ -249,10 +248,10 @@ let run addr specs ~queries =
             (if seconds > 0.0 then float_of_int total /. seconds else 0.0);
           mean_ms =
             (if total = 0 then 0.0 else ms (sum /. float_of_int total));
-          p50_ms = ms (percentile lats 0.50);
-          p95_ms = ms (percentile lats 0.95);
-          p99_ms = ms (percentile lats 0.99);
-          max_ms = (if total = 0 then 0.0 else ms lats.(total - 1));
+          p50_ms = q 0.50;
+          p95_ms = q 0.95;
+          p99_ms = q 0.99;
+          max_ms = (if total = 0 then 0.0 else ms max_v);
         }
     with Fail m -> Error m
 

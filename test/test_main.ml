@@ -24,5 +24,6 @@ let () =
       ("properties", Test_properties.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
+      ("telemetry", Test_telemetry.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -52,6 +52,7 @@ let gen_request =
           (fun session facts -> P.Insert_facts { session; facts })
           small_nat gen_name;
         return P.Stats;
+        return P.Dump_telemetry;
         return P.Shutdown;
       ])
 
@@ -125,17 +126,28 @@ let gen_response =
           (fun session total_facts -> P.Inserted { session; total_facts })
           small_nat small_nat;
         map3
-          (fun uptime_s (sessions, served) errors ->
+          (fun uptime_s (sessions, served) ((errors, inflight), (jb, je)) ->
             P.Server_stats
               {
                 uptime_s;
+                server_version = "0.8.0";
                 sessions;
                 served;
                 errors;
+                inflight;
+                journal_bytes = jb;
+                journal_entries = je;
+                counters =
+                  P.Json.Obj [ ("serve.requests", P.Json.Num 3.0) ];
                 reasoner = P.Json.Obj [ ("solves", P.Json.Num 1.0) ];
               })
           (map Float.abs (float_bound_inclusive 1e6))
           (pair small_nat small_nat)
+          (pair (pair small_nat small_nat) (pair small_nat small_nat));
+        map
+          (fun n ->
+            P.Telemetry
+              { telemetry = P.Json.Obj [ ("flight_total", P.Json.Num (float_of_int n)) ] })
           small_nat;
         return P.Shutdown_ack;
         map2 (fun kind message -> P.Rejected { kind; message }) gen_kind
