@@ -186,6 +186,10 @@ let parallel_corpus_table () =
       let query = Query.Parse.ucq_of_string "q(x) <- r0(x,y), C1(y)" in
       let task = Omq.Corpus.Eval { query; data; max_extra = 2 } in
       let run jobs = Omq.Corpus.run ~max_clauses:600_000 ~jobs task items in
+      Fmt.pr "cores available: %d@." (Parallel.Pool.default_jobs ());
+      Obs.Metrics.set_count (Obs.Metrics.global ())
+        "bench.corpus.cores_available"
+        (Parallel.Pool.default_jobs ());
       let project (rep : Omq.Corpus.report) =
         List.map
           (fun (r : Omq.Corpus.result_one) ->
@@ -210,8 +214,105 @@ let parallel_corpus_table () =
           let prefix = Fmt.str "bench.corpus.jobs%d" jobs in
           Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".seconds")
             rep.Omq.Corpus.seconds;
-          Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".speedup") speedup)
+          Obs.Metrics.set (Obs.Metrics.global ()) (prefix ^ ".speedup") speedup;
+          (* Per-domain engine-counter context (ROADMAP item 3): how the
+             grounding-memo and session-cache traffic distributes over
+             the worker domains — cold per-domain memos are the leading
+             suspect for the recorded slowdowns. *)
+          let byw = Hashtbl.create 8 in
+          List.iter
+            (fun (r : Omq.Corpus.result_one) ->
+              let st =
+                match Hashtbl.find_opt byw r.worker with
+                | Some st -> st
+                | None ->
+                    let st = Reasoner.Stats.create () in
+                    Hashtbl.add byw r.worker st;
+                    st
+              in
+              Reasoner.Stats.add ~into:st r.stats)
+            rep.Omq.Corpus.results;
+          let workers =
+            List.sort compare (Hashtbl.fold (fun w _ acc -> w :: acc) byw [])
+          in
+          List.iter
+            (fun w ->
+              let st = Hashtbl.find byw w in
+              Fmt.pr
+                "       domain %d: memo %d/%d, cache %d/%d (hits/misses)@." w
+                st.Reasoner.Stats.memo_hits st.Reasoner.Stats.memo_misses
+                st.Reasoner.Stats.cache_hits st.Reasoner.Stats.cache_misses)
+            workers;
+          let m = Obs.Metrics.global () in
+          let total = rep.Omq.Corpus.total in
+          Obs.Metrics.set_count m (prefix ^ ".memo_hits")
+            total.Reasoner.Stats.memo_hits;
+          Obs.Metrics.set_count m (prefix ^ ".memo_misses")
+            total.Reasoner.Stats.memo_misses;
+          Obs.Metrics.set_count m (prefix ^ ".cache_hits")
+            total.Reasoner.Stats.cache_hits;
+          Obs.Metrics.set_count m (prefix ^ ".cache_misses")
+            total.Reasoner.Stats.cache_misses;
+          Obs.Metrics.set_count m (prefix ^ ".domains_used")
+            (List.length workers))
         [ 1; 2; 4 ]
+
+let eval_table ?(sizes = [ 10_000; 100_000 ]) () =
+  section "Cost-based evaluation: naive vs planned joins on generated instances";
+  (* Multi-atom CQs over [Structure.Randgen.large] instances. The naive
+     pipeline is the pre-planner backtracking search (planner switch
+     off); the indexed one is the Relindex/Eval join planner. Both must
+     return byte-identical answers — [Cq.answers] sorts, so plain
+     structural equality checks it. *)
+  let queries =
+    [
+      ("join2", "q(x,y) <- r0(x,z), r1(z,y), C0(x), C1(y)");
+      ("chain3", "q(x) <- r0(x,y), r1(y,z), C2(z)");
+    ]
+  in
+  Fmt.pr "%-9s %-8s %-9s %-12s %-12s %-9s %s@." "facts" "query" "answers"
+    "naive(s)" "indexed(s)" "speedup" "identical";
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 2017; size |] in
+      let inst =
+        Structure.Randgen.large ~rng
+          ~nconst:(max 300 (size / 33))
+          ~nrels:4 ~nunary:4 ~unary_p:0.02 ~nfacts:size ()
+      in
+      let m = Obs.Metrics.global () in
+      Obs.Metrics.set_count m
+        (Fmt.str "bench.eval.n%d.facts" size)
+        (Structure.Instance.cardinal inst);
+      List.iter
+        (fun (qname, qtext) ->
+          let q = Query.Parse.cq_of_string qtext in
+          Gc.compact ();
+          let naive, t_naive =
+            time (fun () ->
+                Structure.Eval.with_planner false (fun () ->
+                    Query.Cq.answers inst q))
+          in
+          let indexed, t_indexed =
+            time (fun () ->
+                Structure.Eval.with_planner true (fun () ->
+                    Query.Cq.answers inst q))
+          in
+          let identical = naive = indexed in
+          let speedup = t_naive /. t_indexed in
+          Fmt.pr "%-9d %-8s %-9d %-12.4f %-12.4f %-9s %s@." size qname
+            (List.length indexed) t_naive t_indexed
+            (Fmt.str "%.1fx" speedup)
+            (if identical then "identical" else "MISMATCH");
+          let prefix = Fmt.str "bench.eval.n%d.%s" size qname in
+          Obs.Metrics.set m (prefix ^ ".naive_seconds") t_naive;
+          Obs.Metrics.set m (prefix ^ ".indexed_seconds") t_indexed;
+          Obs.Metrics.set m (prefix ^ ".speedup") speedup;
+          Obs.Metrics.set_count m (prefix ^ ".answers") (List.length indexed);
+          Obs.Metrics.set_count m (prefix ^ ".identical")
+            (if identical then 1 else 0))
+        queries)
+    sizes
 
 let serve_table () =
   section "Serve daemon: closed-loop load, 4 clients x 60 evals";
@@ -789,6 +890,7 @@ let () =
        committed full-run baseline is never clobbered. *)
     engine_table ();
     parallel_corpus_table ();
+    eval_table ~sizes:[ 10_000 ] ();
     meta_metrics ();
     Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_smoke.json"
@@ -800,6 +902,7 @@ let () =
     example1_table ();
     engine_table ();
     parallel_corpus_table ();
+    eval_table ();
     serve_table ();
     telemetry_overhead_table ();
     chaos_table ();

@@ -320,12 +320,25 @@ let eval_cmd =
       & info [ "stats" ]
           ~doc:"Report engine counters (groundings, solves, cache traffic).")
   in
-  let run path data query max_extra stats (c : common) =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Before evaluating, print the planner's chosen join order and \
+             index access methods over the input instance as one JSON line \
+             (one plan per disjunct of the UCQ).")
+  in
+  let run path data query max_extra stats explain (c : common) =
     run_result @@ fun () ->
     with_tracing c @@ fun () ->
     let* tbox = load_tbox path in
     let* d = load_instance data in
     let* q = load_query query in
+    if explain then
+      Fmt.pr "{\"plans\":[%s]}@."
+        (String.concat ","
+           (List.map (Query.Cq.explain d) (Query.Ucq.disjuncts q)));
     let omq = Omq.of_tbox tbox q in
     Reasoner.Stats.reset (Reasoner.Stats.global ());
     let budget = budget_of c in
@@ -414,7 +427,87 @@ let eval_cmd =
           (fuel/clauses).")
     Term.(
       const run $ ontology_arg $ data_arg $ query_arg $ bound_arg $ stats_arg
-      $ common_term)
+      $ explain_arg $ common_term)
+
+let gen_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  let facts_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "facts" ] ~docv:"N"
+          ~doc:
+            "Number of binary-fact draws (duplicates collapse, so the \
+             instance holds approximately this many binary facts).")
+  in
+  let consts_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "consts" ] ~docv:"N"
+          ~doc:"Number of constants (default: max 300 FACTS/33).")
+  in
+  let rels_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rels" ] ~docv:"N" ~doc:"Number of binary relations r0…")
+  in
+  let unary_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "unary" ] ~docv:"N" ~doc:"Number of unary concepts C0…")
+  in
+  let unary_p_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "unary-p" ] ~docv:"P"
+          ~doc:"Probability each concept holds of each constant.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to FILE instead of standard output.")
+  in
+  let run seed facts consts rels unary unary_p output =
+    run_result @@ fun () ->
+    let rng = Random.State.make [| seed |] in
+    let nconst =
+      match consts with Some n -> n | None -> max 300 (facts / 33)
+    in
+    let inst =
+      Structure.Randgen.large ~rng ~nconst ~nrels:rels ~nunary:unary ~unary_p
+        ~nfacts:facts ()
+    in
+    let buf = Buffer.create (1 lsl 20) in
+    List.iter
+      (fun (f : Structure.Instance.fact) ->
+        Buffer.add_string buf f.rel;
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i e ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (element_name e))
+          f.args;
+        Buffer.add_string buf ")\n")
+      (Structure.Instance.facts inst);
+    (match output with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf)));
+    Ok 0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~exits
+       ~doc:
+         "Generate a deterministic large random instance in the text fact \
+          format ($(b,R(a,b)) lines, sorted). Facts are drawn directly \
+          rather than by enumerating the tuple space, so $(i,10^5)–$(i,10^6) \
+          facts are cheap; the same seed always yields the same instance.")
+    Term.(
+      const run $ seed_arg $ facts_arg $ consts_arg $ rels_arg $ unary_arg
+      $ unary_p_arg $ output_arg)
 
 let fig1_cmd =
   let json_arg =
@@ -1267,6 +1360,7 @@ let () =
       [
         classify_cmd;
         eval_cmd;
+        gen_cmd;
         fig1_cmd;
         corpus_cmd;
         decide_cmd;

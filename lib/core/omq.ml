@@ -369,6 +369,7 @@ module Corpus = struct
     outcome : outcome;
     seconds : float;  (* wall time of this item, on its worker *)
     stats : Reasoner.Stats.t;  (* engines this item's session forced *)
+    worker : int;  (* pool domain index that processed the item *)
   }
 
   type report = {
@@ -442,7 +443,7 @@ module Corpus = struct
               | Eval { query; data; max_extra } ->
                   eval_item ~timeout ~fuel ~max_clauses ~query ~data ~max_extra item)
         in
-        { item_name = item.name; outcome; seconds; stats }
+        { item_name = item.name; outcome; seconds; stats; worker }
       in
       if not traced then (run_one (), None)
       else

@@ -258,6 +258,7 @@ module Corpus : sig
     outcome : outcome;
     seconds : float;  (** wall time of this item, on its worker *)
     stats : Reasoner.Stats.t;  (** engines this item's session forced *)
+    worker : int;  (** pool domain index that processed the item *)
   }
 
   type report = {

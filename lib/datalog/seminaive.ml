@@ -16,8 +16,7 @@ let body_vars body =
 (* Evaluate all bindings of [body]'s variables against [inst]; when
    [pin = Some (atom, fact)] the given atom is matched against exactly
    that fact. Returns bindings as maps var -> element. *)
-let body_bindings inst body ~pin =
-  let atoms = Program.positive_atoms body in
+let body_bindings_naive inst body ~pin atoms =
   let q = Query.Cq.make ~name:"body" ~answer:[] atoms in
   let db = Query.Cq.canonical_db q in
   (* Extend a fixing consistently; [None] when the pin clashes. *)
@@ -54,6 +53,71 @@ let body_bindings inst body ~pin =
           in
           (false, bind :: acc))
         []
+
+(* Planner-backed variant: the positive atoms become one join evaluated
+   over the instance's [Relindex]; the pin turns into pre-bound
+   variables (and constant checks) on the pinned atom. *)
+let body_bindings_eval inst body ~pin atoms =
+  let vars = body_vars body in
+  let _, var_ix =
+    SSet.fold (fun v (i, m) -> (i + 1, SMap.add v i m)) vars (0, SMap.empty)
+  in
+  let eatoms =
+    List.map
+      (fun (r, ts) ->
+        Structure.Eval.atom r
+          (List.map
+             (function
+               | Logic.Term.Var v -> Structure.Eval.Var (SMap.find v var_ix)
+               | Logic.Term.Const c ->
+                   Structure.Eval.Const (Structure.Element.Const c))
+             ts))
+      atoms
+  in
+  let bindings =
+    match pin with
+    | None -> Some []
+    | Some ((_, ts), (fact : Structure.Instance.fact)) ->
+        if List.length ts <> List.length fact.args then None
+        else
+          List.fold_left2
+            (fun acc t target ->
+              match acc with
+              | None -> None
+              | Some bs -> (
+                  match t with
+                  | Logic.Term.Const c ->
+                      if
+                        Structure.Element.equal (Structure.Element.Const c)
+                          target
+                      then Some bs
+                      else None
+                  | Logic.Term.Var v -> (
+                      let ix = SMap.find v var_ix in
+                      match List.assoc_opt ix bs with
+                      | Some existing
+                        when not (Structure.Element.equal existing target) ->
+                          None
+                      | Some _ -> Some bs
+                      | None -> Some ((ix, target) :: bs))))
+            (Some []) ts fact.args
+  in
+  match bindings with
+  | None -> []
+  | Some bindings ->
+      let idx = Structure.Relindex.of_instance inst in
+      let plan =
+        Structure.Eval.make_plan idx ~bound:(List.map fst bindings) eatoms
+      in
+      Structure.Eval.fold idx plan ~bindings
+        (fun sol acc -> (false, SMap.map (fun i -> sol.(i)) var_ix :: acc))
+        []
+
+let body_bindings inst body ~pin =
+  let atoms = Program.positive_atoms body in
+  if Structure.Eval.planner_enabled () then
+    body_bindings_eval inst body ~pin atoms
+  else body_bindings_naive inst body ~pin atoms
 
 let neq_holds bind (s, t) =
   let value = function

@@ -39,8 +39,13 @@ val holds : Structure.Instance.t -> t -> Structure.Element.t list -> bool
 
 val holds_boolean : Structure.Instance.t -> t -> bool
 
-(** All answers of [q] in [inst] (no duplicates). *)
+(** All answers of [q] in [inst], duplicate-free and sorted (the order
+    does not depend on which evaluation pipeline produced them). *)
 val answers : Structure.Instance.t -> t -> Structure.Element.t list list
+
+(** The join plan the planner would choose for [q]'s body over [inst],
+    as a JSON object (see [Structure.Eval.explain_json]). *)
+val explain : Structure.Instance.t -> t -> string
 
 (** Connectedness of the canonical database. *)
 val is_connected : t -> bool

@@ -115,7 +115,8 @@ let consistent source target m e =
           Instance.mem { f with args = List.rev rev_imgs } target)
     (Instance.incident e source)
 
-let fold ?(fixed = EMap.empty) ?(injective = false) ~source ~target f init =
+let fold_naive ?(fixed = EMap.empty) ?(injective = false) ~source ~target f
+    init =
   let order = search_order source fixed in
   let acc = ref init in
   let continue = ref true in
@@ -146,6 +147,91 @@ let fold ?(fixed = EMap.empty) ?(injective = false) ~source ~target f init =
   in
   if fixed_ok then go fixed used order;
   !acc
+
+(* Planner-backed enumeration: source elements that occur in facts
+   become join variables over the target's [Relindex]; source elements
+   with no incident fact ("isolated") are unconstrained and range over
+   the whole target domain, exactly as the naive path's [candidates]
+   fallback. Solutions come in plan order, deterministically. *)
+let fold_eval ~fixed ~source ~target f init =
+  let fixed_ok =
+    EMap.for_all
+      (fun e v ->
+        ESet.mem v (Instance.domain target)
+        && ESet.mem e (Instance.domain source))
+      fixed
+  in
+  if not fixed_ok then init
+  else begin
+    let idx = Relindex.of_instance target in
+    let var_of = Element.Tbl.create 16 in
+    let nvars = ref 0 in
+    let atoms =
+      List.map
+        (fun (fct : Instance.fact) ->
+          Eval.atom fct.rel
+            (List.map
+               (fun e ->
+                 match Element.Tbl.find_opt var_of e with
+                 | Some v -> Eval.Var v
+                 | None ->
+                     let v = !nvars in
+                     incr nvars;
+                     Element.Tbl.add var_of e v;
+                     Eval.Var v)
+               fct.args))
+        (Instance.facts source)
+    in
+    let isolated =
+      List.filter
+        (fun e -> not (Element.Tbl.mem var_of e))
+        (Instance.domain_list source)
+    in
+    let bindings =
+      EMap.fold
+        (fun e v acc ->
+          match Element.Tbl.find_opt var_of e with
+          | Some var -> (var, v) :: acc
+          | None -> acc)
+        fixed []
+    in
+    let plan = Eval.make_plan idx ~bound:(List.map fst bindings) atoms in
+    let inv = Array.make (max 1 !nvars) (Element.Null min_int) in
+    Element.Tbl.iter (fun e v -> inv.(v) <- e) var_of;
+    let target_dom = Instance.domain_list target in
+    let continue = ref true in
+    let acc = ref init in
+    let emit m =
+      let stop, acc' = f m !acc in
+      acc := acc';
+      if stop then continue := false
+    in
+    let rec extend m = function
+      | [] -> emit m
+      | e :: rest -> (
+          match EMap.find_opt e fixed with
+          | Some v -> extend (EMap.add e v m) rest
+          | None ->
+              List.iter
+                (fun v -> if !continue then extend (EMap.add e v m) rest)
+                target_dom)
+    in
+    Eval.fold idx plan ~bindings
+      (fun sol () ->
+        let m = ref EMap.empty in
+        for v = 0 to !nvars - 1 do
+          m := EMap.add inv.(v) sol.(v) !m
+        done;
+        extend !m isolated;
+        ((not !continue), ()))
+      ();
+    !acc
+  end
+
+let fold ?(fixed = EMap.empty) ?(injective = false) ~source ~target f init =
+  if (not injective) && Eval.planner_enabled () then
+    fold_eval ~fixed ~source ~target f init
+  else fold_naive ~fixed ~injective ~source ~target f init
 
 let find ?(fixed = EMap.empty) ?(injective = false) ~source ~target () =
   fold ~fixed ~injective ~source ~target (fun m _ -> (true, Some m)) None

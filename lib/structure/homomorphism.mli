@@ -11,8 +11,22 @@ val apply : map -> Element.t -> Element.t
 val is_homomorphism : map -> source:Instance.t -> target:Instance.t -> bool
 
 (** [fold ~source ~target f init] enumerates homomorphisms extending
-    [fixed]; [f] returns [(stop, acc)]. *)
+    [fixed]; [f] returns [(stop, acc)]. Backed by the {!Eval} join
+    planner when {!Eval.planner_enabled} (the default); [injective]
+    searches always use the naive backtracking path. *)
 val fold :
+  ?fixed:map ->
+  ?injective:bool ->
+  source:Instance.t ->
+  target:Instance.t ->
+  (map -> 'a -> bool * 'a) ->
+  'a ->
+  'a
+
+(** The pre-planner backtracking enumeration, kept as the reference
+    implementation for the equivalence suite and as the [injective]
+    path. Same contract as {!fold}. *)
+val fold_naive :
   ?fixed:map ->
   ?injective:bool ->
   source:Instance.t ->

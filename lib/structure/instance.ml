@@ -2,9 +2,31 @@ module SMap = Logic.Names.SMap
 
 type fact = { rel : string; args : Element.t list }
 
-let fact rel args = { rel; args }
+(* Per-domain relation-name pool: facts built through [fact]/[add_fact]
+   share one string per relation name, so the hot comparison path can
+   settle most [rel] comparisons by physical equality instead of a byte
+   compare. Domain-local so worker domains share nothing. *)
+let pool_key :
+    (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
-let compare_fact = Stdlib.compare
+let intern_rel s =
+  let pool = Domain.DLS.get pool_key in
+  match Hashtbl.find_opt pool s with
+  | Some s' -> s'
+  | None ->
+      Hashtbl.add pool s s;
+      s
+
+let fact rel args = { rel = intern_rel rel; args }
+
+(* Same order as the polymorphic [Stdlib.compare] on the record:
+   [rel] first (byte-lexicographic), then [args] element-wise. *)
+let compare_fact a b =
+  if a == b then 0
+  else
+    let c = if a.rel == b.rel then 0 else String.compare a.rel b.rel in
+    if c <> 0 then c else List.compare Element.compare a.args b.args
 
 module FactSet = Set.Make (struct
   type t = fact
@@ -13,25 +35,40 @@ module FactSet = Set.Make (struct
 end)
 
 type t = {
+  uid : int;
   facts : FactSet.t;
   domain : Element.Set.t;
   incidence : FactSet.t Element.Map.t;
   signature : Logic.Signature.t;
 }
 
-let empty =
-  {
-    facts = FactSet.empty;
-    domain = Element.Set.empty;
-    incidence = Element.Map.empty;
-    signature = Logic.Signature.empty;
-  }
+(* Every structurally new value goes through [mk] and receives a fresh
+   [uid]; operations that leave the value unchanged return the original
+   record (same uid). Per-domain evaluation caches key on this id, so it
+   must never be reused across distinct values. *)
+let next_uid = Atomic.make 1
 
-let add_element e t = { t with domain = Element.Set.add e t.domain }
+let mk ~facts ~domain ~incidence ~signature =
+  { uid = Atomic.fetch_and_add next_uid 1; facts; domain; incidence; signature }
+
+let empty =
+  mk ~facts:FactSet.empty ~domain:Element.Set.empty
+    ~incidence:Element.Map.empty ~signature:Logic.Signature.empty
+
+let uid t = t.uid
+
+let add_element e t =
+  if Element.Set.mem e t.domain then t
+  else
+    mk ~facts:t.facts
+      ~domain:(Element.Set.add e t.domain)
+      ~incidence:t.incidence ~signature:t.signature
 
 let add_fact f t =
   if FactSet.mem f t.facts then t
   else
+    let rel = intern_rel f.rel in
+    let f = if rel == f.rel then f else { f with rel } in
     let domain =
       List.fold_left (fun d e -> Element.Set.add e d) t.domain f.args
     in
@@ -44,12 +81,10 @@ let add_fact f t =
           Element.Map.add e (FactSet.add f cur) m)
         t.incidence f.args
     in
-    {
-      facts = FactSet.add f t.facts;
-      domain;
-      incidence;
-      signature = Logic.Signature.add f.rel (List.length f.args) t.signature;
-    }
+    mk
+      ~facts:(FactSet.add f t.facts)
+      ~domain ~incidence
+      ~signature:(Logic.Signature.add f.rel (List.length f.args) t.signature)
 
 let of_facts fs = List.fold_left (fun t f -> add_fact f t) empty fs
 
@@ -75,20 +110,33 @@ let tuples rel t =
     (fun f acc -> if f.rel = rel then f.args :: acc else acc)
     t.facts []
 
-let union a b = FactSet.fold (fun f t -> add_fact f t) b.facts
-    { a with domain = Element.Set.union a.domain b.domain }
+let union a b =
+  let base =
+    if Element.Set.subset b.domain a.domain then a
+    else
+      mk ~facts:a.facts
+        ~domain:(Element.Set.union a.domain b.domain)
+        ~incidence:a.incidence ~signature:a.signature
+  in
+  FactSet.fold (fun f t -> add_fact f t) b.facts base
 
 let subset a b = FactSet.subset a.facts b.facts
 
 let restrict elems t =
   let keep f = List.for_all (fun e -> Element.Set.mem e elems) f.args in
   let base =
-    { empty with domain = Element.Set.inter elems t.domain }
+    mk ~facts:FactSet.empty
+      ~domain:(Element.Set.inter elems t.domain)
+      ~incidence:Element.Map.empty ~signature:Logic.Signature.empty
   in
   FactSet.fold (fun f acc -> if keep f then add_fact f acc else acc) t.facts base
 
 let map_elements h t =
-  let base = { empty with domain = Element.Set.map h t.domain } in
+  let base =
+    mk ~facts:FactSet.empty
+      ~domain:(Element.Set.map h t.domain)
+      ~incidence:Element.Map.empty ~signature:Logic.Signature.empty
+  in
   FactSet.fold
     (fun f acc -> add_fact { f with args = List.map h f.args } acc)
     t.facts base

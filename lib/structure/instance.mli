@@ -6,7 +6,11 @@
 
 type fact = { rel : string; args : Element.t list }
 
+(** [fact r args] builds a fact with [r] interned into a per-domain
+    relation-name pool, so [compare_fact] settles the name comparison by
+    physical equality on the hot path. *)
 val fact : string -> Element.t list -> fact
+
 val compare_fact : fact -> fact -> int
 
 module FactSet : Set.S with type elt = fact
@@ -14,6 +18,13 @@ module FactSet : Set.S with type elt = fact
 type t
 
 val empty : t
+
+(** Stable identity of this immutable value. Two structurally distinct
+    instances never share a uid, and any operation that changes the facts
+    or the domain returns a value with a fresh uid (operations that leave
+    the value unchanged may return the original record). Per-domain
+    evaluation-index caches ([Relindex]) key on this. *)
+val uid : t -> int
 
 (** [add_element e t] adds an (possibly isolated) element to the domain. *)
 val add_element : Element.t -> t -> t

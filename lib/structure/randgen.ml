@@ -26,6 +26,34 @@ let instance ~rng ~signature ~size ~p =
     base
     (Logic.Signature.to_list signature)
 
+(* Large sparse instances (10^5–10^6 facts): [instance] enumerates the
+   full tuple space so it only scales to toy sizes. Here we draw facts
+   directly: [nfacts] binary facts spread uniformly over [nrels]
+   relations r0…, plus sparse unary "concept" relations C0… holding each
+   constant with probability [unary_p]. Deterministic given the rng
+   state; duplicates among the draws collapse in the fact set, so the
+   result holds approximately (just under) [nfacts] binary facts. *)
+let large ~rng ?(nconst = 3000) ?(nrels = 4) ?(nunary = 4) ?(unary_p = 0.02)
+    ~nfacts () =
+  let const i = Element.Const ("c" ^ string_of_int i) in
+  let inst = ref Instance.empty in
+  for _ = 1 to nfacts do
+    let r = "r" ^ string_of_int (Random.State.int rng nrels) in
+    let a = const (Random.State.int rng nconst)
+    and b = const (Random.State.int rng nconst) in
+    inst := Instance.add_fact (Instance.fact r [ a; b ]) !inst
+  done;
+  for c = 0 to nconst - 1 do
+    for u = 0 to nunary - 1 do
+      if Random.State.float rng 1.0 < unary_p then
+        inst :=
+          Instance.add_fact
+            (Instance.fact ("C" ^ string_of_int u) [ const c ])
+            !inst
+    done
+  done;
+  !inst
+
 (* A random connected-ish instance: as [instance] but guarantees at least
    one fact (instances are non-empty sets of facts). *)
 let nonempty_instance ~rng ~signature ~size ~p =

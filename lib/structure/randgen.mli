@@ -15,6 +15,22 @@ val instance :
   p:float ->
   Instance.t
 
+(** [large ~rng ~nfacts ()] draws a large sparse instance directly (no
+    tuple-space enumeration): [nfacts] binary facts uniformly over
+    [nrels] relations r0… on [nconst] constants c0…, plus unary concepts
+    C0…C{nunary-1} holding each constant with probability [unary_p].
+    Deterministic given the rng state; duplicate draws collapse, so the
+    binary fact count is approximately (just under) [nfacts]. *)
+val large :
+  rng:Random.State.t ->
+  ?nconst:int ->
+  ?nrels:int ->
+  ?nunary:int ->
+  ?unary_p:float ->
+  nfacts:int ->
+  unit ->
+  Instance.t
+
 (** As {!instance} but guarantees at least one fact when the signature is
     non-empty. *)
 val nonempty_instance :

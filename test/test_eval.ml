@@ -1,0 +1,229 @@
+(* Equivalence suite for the cost-based evaluation engine: on random
+   instances the planner pipeline (Relindex + Eval) must return exactly
+   the answers of the naive reference implementations, at every layer
+   that was rewired onto it — CQ evaluation, homomorphism enumeration,
+   the chase, and semi-naive Datalog. Byte-identity matters: downstream
+   consumers compare answer lists structurally. *)
+
+open Helpers
+module EMap = Structure.Element.Map
+
+let on f = Structure.Eval.with_planner true f
+let off f = Structure.Eval.with_planner false f
+
+let signature =
+  Logic.Signature.of_list [ ("R", 2); ("S", 2); ("A", 1); ("B", 1) ]
+
+let rand_instance ?(size = 4) ?(p = 0.3) seed =
+  let rng = Random.State.make [| seed |] in
+  Structure.Randgen.nonempty_instance ~rng ~signature ~size ~p
+
+(* A mix of shapes: joins, repeated variables, constants, boolean,
+   full-arity answers, cartesian-ish bodies. *)
+let cqs =
+  [
+    cq ~name:"q_join" ~answer:[ "x" ] [ ("R", [ v "x"; v "y" ]); ("A", [ v "y" ]) ];
+    cq ~name:"q_path" ~answer:[ "x"; "y" ]
+      [ ("R", [ v "x"; v "z" ]); ("S", [ v "z"; v "y" ]) ];
+    cq ~name:"q_loop" ~answer:[] [ ("R", [ v "x"; v "x" ]) ];
+    cq ~name:"q_cycle" ~answer:[ "x" ]
+      [ ("R", [ v "x"; v "y" ]); ("R", [ v "y"; v "x" ]); ("B", [ v "x" ]) ];
+    cq ~name:"q_const" ~answer:[ "x" ]
+      [ ("A", [ v "x" ]); ("R", [ c "c0"; v "x" ]) ];
+    cq ~name:"q_prod" ~answer:[ "x"; "y" ]
+      [ ("A", [ v "x" ]); ("B", [ v "y" ]) ];
+  ]
+
+let test_cq_equiv =
+  QCheck.Test.make ~name:"Cq.holds/answers: planner = naive" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = rand_instance seed in
+      let dom = Structure.Instance.domain_list d in
+      List.for_all
+        (fun q ->
+          let arity = List.length q.Query.Cq.answer in
+          on (fun () -> Query.Cq.answers d q)
+          = off (fun () -> Query.Cq.answers d q)
+          && List.for_all
+               (fun t ->
+                 Bool.equal
+                   (on (fun () -> Query.Cq.holds d q t))
+                   (off (fun () -> Query.Cq.holds d q t)))
+               (Structure.Randgen.tuples dom arity))
+        cqs)
+
+let test_hom_equiv =
+  QCheck.Test.make ~name:"Homomorphism.fold: planner = fold_naive" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let source =
+        Structure.Randgen.nonempty_instance ~rng ~signature ~size:3 ~p:0.35
+      in
+      let target =
+        Structure.Randgen.nonempty_instance ~rng ~signature ~size:4 ~p:0.35
+      in
+      let planner ?fixed () =
+        Structure.Homomorphism.fold ?fixed ~source ~target
+          (fun m acc -> (false, EMap.bindings m :: acc))
+          []
+        |> List.sort compare
+      in
+      let naive ?fixed () =
+        Structure.Homomorphism.fold_naive ?fixed ~source ~target
+          (fun m acc -> (false, EMap.bindings m :: acc))
+          []
+        |> List.sort compare
+      in
+      let free_ok = planner () = naive () in
+      (* Pin one source element to itself (it is also a target constant). *)
+      let fixed_ok =
+        match Structure.Instance.domain_list source with
+        | e :: _ when Structure.Element.Set.mem e (Structure.Instance.domain target)
+          ->
+            let fixed = EMap.singleton e e in
+            planner ~fixed () = naive ~fixed ()
+        | _ -> true
+      in
+      free_ok && fixed_ok)
+
+let chase_rules =
+  [
+    Reasoner.Chase.rule ~name:"exists"
+      ~body:[ ("A", [ v "x" ]) ]
+      ~head:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ();
+    Reasoner.Chase.rule ~name:"compose"
+      ~body:[ ("R", [ v "x"; v "y" ]); ("S", [ v "y"; v "z" ]) ]
+      ~head:[ ("R", [ v "x"; v "z" ]) ]
+      ();
+    Reasoner.Chase.rule ~name:"mark"
+      ~body:[ ("R", [ v "x"; v "y" ]); ("B", [ v "y" ]) ]
+      ~head:[ ("A", [ v "x" ]) ]
+      ();
+  ]
+
+let test_chase_equiv =
+  QCheck.Test.make ~name:"Chase.run fixpoint: planner = naive" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = rand_instance ~size:3 ~p:0.35 seed in
+      let r_on = on (fun () -> Reasoner.Chase.run chase_rules d) in
+      let r_off = off (fun () -> Reasoner.Chase.run chase_rules d) in
+      Structure.Instance.equal r_on.Reasoner.Chase.instance
+        r_off.Reasoner.Chase.instance
+      && Bool.equal r_on.Reasoner.Chase.saturated r_off.Reasoner.Chase.saturated)
+
+let tc_program =
+  Datalog.Program.make ~goal:"T"
+    [
+      Datalog.Program.rule
+        ~head:("T", [ v "x"; v "y" ])
+        ~body:[ Datalog.Program.Pos ("R", [ v "x"; v "y" ]) ];
+      Datalog.Program.rule
+        ~head:("T", [ v "x"; v "z" ])
+        ~body:
+          [
+            Datalog.Program.Pos ("T", [ v "x"; v "y" ]);
+            Datalog.Program.Pos ("R", [ v "y"; v "z" ]);
+          ];
+      (* inequality + constant exercise the non-join literal paths *)
+      Datalog.Program.rule
+        ~head:("T", [ v "x"; c "c0" ])
+        ~body:
+          [
+            Datalog.Program.Pos ("A", [ v "x" ]);
+            Datalog.Program.Neq (v "x", c "c0");
+          ];
+    ]
+
+let test_seminaive_equiv =
+  QCheck.Test.make ~name:"Seminaive.answers: planner = naive" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let d = rand_instance seed in
+      on (fun () -> Datalog.Seminaive.answers tc_program d)
+      = off (fun () -> Datalog.Seminaive.answers tc_program d)
+      && on (fun () ->
+             Structure.Instance.equal
+               (Datalog.Seminaive.evaluate tc_program d)
+               (off (fun () -> Datalog.Seminaive.evaluate_naive tc_program d))))
+
+(* Adaptive switchover: a small relation is always scanned; a larger one
+   acquires a pattern hash table only after repeated probes. *)
+let test_adaptive_switchover () =
+  let big =
+    List.init 40 (fun i -> ("R", [ "a" ^ string_of_int i; "b" ^ string_of_int (i mod 7) ]))
+  in
+  let small = List.init 5 (fun i -> ("S", [ "a0"; "b" ^ string_of_int i ])) in
+  let d = inst (big @ small) in
+  let idx = Structure.Relindex.build d in
+  Alcotest.(check int) "fresh index has no tables" 0
+    (Structure.Relindex.tables_built idx);
+  let probe rel elem =
+    let pat = [| Structure.Relindex.id_of idx elem; -1 |] in
+    let n = ref 0 in
+    Structure.Relindex.iter_matches idx rel ~pat (fun _ _ -> incr n);
+    !n
+  in
+  (* Small relation: probe as often as we like, never pays for a table. *)
+  for _ = 1 to 10 do
+    ignore (probe "S" (e "a0"))
+  done;
+  Alcotest.(check int) "small relation stays scan-only" 0
+    (Structure.Relindex.tables_built idx);
+  (* Large relation: the first two probes scan, the third builds. *)
+  ignore (probe "R" (e "a1"));
+  ignore (probe "R" (e "a2"));
+  Alcotest.(check int) "probes under cutoff still scan" 0
+    (Structure.Relindex.tables_built idx);
+  Alcotest.(check int) "lookup result" 1 (probe "R" (e "a3"));
+  Alcotest.(check int) "third probe builds the hash table" 1
+    (Structure.Relindex.tables_built idx);
+  (* Answers must be identical either side of the switchover. *)
+  Alcotest.(check int) "hash lookup result" 1 (probe "R" (e "a4"))
+
+(* Plans are a pure function of atoms + statistics: planning twice gives
+   the same JSON; the cached index is reused for the same instance. *)
+let test_plan_deterministic () =
+  let d = rand_instance 42 in
+  let idx = Structure.Relindex.of_instance d in
+  Alcotest.(check bool) "index cache hit" true
+    (idx == Structure.Relindex.of_instance d);
+  let atoms =
+    [
+      Structure.Eval.atom "R" [ Structure.Eval.Var 0; Structure.Eval.Var 1 ];
+      Structure.Eval.atom "A" [ Structure.Eval.Var 1 ];
+    ]
+  in
+  let j1 = Structure.Eval.explain_json (Structure.Eval.make_plan idx atoms) in
+  let j2 = Structure.Eval.explain_json (Structure.Eval.make_plan idx atoms) in
+  Alcotest.(check string) "same plan twice" j1 j2;
+  let j3 = Structure.Eval.explain_json (Structure.Eval.make_plan (Structure.Relindex.build d) atoms) in
+  Alcotest.(check string) "fresh index, same plan" j1 j3
+
+let test_randgen_large_deterministic () =
+  let gen () =
+    Structure.Randgen.large
+      ~rng:(Random.State.make [| 7 |])
+      ~nconst:50 ~nfacts:500 ()
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Structure.Instance.equal a b);
+  let n = Structure.Instance.cardinal a in
+  Alcotest.(check bool) "fact count in expected band" true
+    (n > 400 && n < 600)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_cq_equiv;
+    QCheck_alcotest.to_alcotest test_hom_equiv;
+    QCheck_alcotest.to_alcotest test_chase_equiv;
+    QCheck_alcotest.to_alcotest test_seminaive_equiv;
+    Alcotest.test_case "adaptive_switchover" `Quick test_adaptive_switchover;
+    Alcotest.test_case "plan_deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "randgen_large_deterministic" `Quick
+      test_randgen_large_deterministic;
+  ]

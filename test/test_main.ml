@@ -3,6 +3,7 @@ let () =
     [
       ("logic", Test_logic.suite);
       ("structure", Test_structure.suite);
+      ("eval", Test_eval.suite);
       ("gf", Test_gf.suite);
       ("query", Test_query.suite);
       ("dl", Test_dl.suite);
