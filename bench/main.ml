@@ -314,6 +314,95 @@ let eval_table ?(sizes = [ 10_000; 100_000 ]) () =
         queries)
     sizes
 
+let incremental_table ?(size = 100_000) ?(rounds = 30) () =
+  section
+    "Incremental maintenance: delta insert/retract vs reopen-from-scratch";
+  (* A nonrecursive join program (counting strategy) over the same
+     generated instance family as [eval_table]. Each round inserts a
+     small batch of facts and then retracts it; the p50 per-update
+     latencies are compared against re-materialising the fixpoint from
+     scratch (what a session reopen pays). The final state must answer
+     byte-identically to a from-scratch evaluation — the bench doubles
+     as the equivalence proof on real volume. *)
+  let rng = Random.State.make [| 2017; size |] in
+  let inst =
+    Structure.Randgen.large ~rng
+      ~nconst:(max 300 (size / 33))
+      ~nrels:4 ~nunary:4 ~unary_p:0.02 ~nfacts:size ()
+  in
+  let nconst = max 300 (size / 33) in
+  let program =
+    Datalog.Program.make ~goal:"goal"
+      [
+        Datalog.Program.rule
+          ~head:("goal", [ v "x"; v "y" ])
+          ~body:
+            [
+              Datalog.Program.Pos ("r0", [ v "x"; v "z" ]);
+              Datalog.Program.Pos ("r1", [ v "z"; v "y" ]);
+              Datalog.Program.Pos ("C0", [ v "x" ]);
+            ];
+      ]
+  in
+  Gc.compact ();
+  let st0, t_prepare = time (fun () -> Datalog.Seminaive.prepare program inst) in
+  let batch () =
+    let const i = e (Printf.sprintf "c%d" i) in
+    List.init 10 (fun j ->
+        Structure.Instance.fact
+          (if j mod 2 = 0 then "r0" else "r1")
+          [
+            const (Random.State.int rng nconst);
+            const (Random.State.int rng nconst);
+          ])
+    |> List.sort_uniq compare
+  in
+  let st = ref st0 in
+  let ins = ref [] and del = ref [] in
+  for _ = 1 to rounds do
+    let facts = batch () in
+    let (st', _), t_ins = time (fun () -> Datalog.Seminaive.insert !st facts) in
+    st := st';
+    ins := t_ins :: !ins;
+    let (st'', _), t_del =
+      time (fun () -> Datalog.Seminaive.retract !st facts)
+    in
+    st := st'';
+    del := t_del :: !del
+  done;
+  let identical =
+    Datalog.Seminaive.state_answers !st
+    = Datalog.Seminaive.answers program (Datalog.Seminaive.state_edb !st)
+    && Structure.Instance.equal
+         (Datalog.Seminaive.state_derived !st)
+         (Datalog.Seminaive.evaluate program (Datalog.Seminaive.state_edb !st))
+  in
+  let p50 ts =
+    let a = Array.of_list ts in
+    Array.sort compare a;
+    a.(Array.length a / 2) *. 1000.
+  in
+  let insert_p50_ms = p50 !ins and retract_p50_ms = p50 !del in
+  let reopen_ms = t_prepare *. 1000. in
+  (* conservative: scratch cost over the *slower* of the two update
+     kinds — the CI gate holds even for the worst maintained path *)
+  let speedup = reopen_ms /. Float.max insert_p50_ms retract_p50_ms in
+  Fmt.pr "%-9s %-12s %-14s %-14s %-14s %-9s %s@." "facts" "rounds"
+    "reopen(ms)" "insert p50(ms)" "retract p50(ms)" "speedup" "identical";
+  Fmt.pr "%-9d %-12d %-14.2f %-14.4f %-14.4f %-9s %s@." size rounds reopen_ms
+    insert_p50_ms retract_p50_ms
+    (Fmt.str "%.0fx" speedup)
+    (if identical then "identical" else "MISMATCH");
+  let m = Obs.Metrics.global () in
+  Obs.Metrics.set_count m "bench.incremental.facts"
+    (Structure.Instance.cardinal inst);
+  Obs.Metrics.set m "bench.incremental.reopen_ms" reopen_ms;
+  Obs.Metrics.set m "bench.incremental.insert_p50_ms" insert_p50_ms;
+  Obs.Metrics.set m "bench.incremental.retract_p50_ms" retract_p50_ms;
+  Obs.Metrics.set m "bench.incremental.speedup_vs_reopen" speedup;
+  Obs.Metrics.set_count m "bench.incremental.identical"
+    (if identical then 1 else 0)
+
 let serve_table () =
   section "Serve daemon: closed-loop load, 4 clients x 60 evals";
   (* The daemon runs on a POSIX thread of this process (its worker
@@ -891,6 +980,7 @@ let () =
     engine_table ();
     parallel_corpus_table ();
     eval_table ~sizes:[ 10_000 ] ();
+    incremental_table ();
     meta_metrics ();
     Reasoner.Stats.publish ~prefix:"bench.total" (Reasoner.Stats.global ());
     write_metrics "BENCH_smoke.json"
@@ -903,6 +993,7 @@ let () =
     engine_table ();
     parallel_corpus_table ();
     eval_table ();
+    incremental_table ();
     serve_table ();
     telemetry_overhead_table ();
     chaos_table ();

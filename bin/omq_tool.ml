@@ -6,7 +6,9 @@
      omq_tool corpus --seed 2017 -n 411
      omq_tool decide ONTOLOGY.dl [--json]
      omq_tool serve --socket omq.sock --jobs 4
-     omq_tool request --socket omq.sock '{"v":1,"op":"stats"}'
+     omq_tool request --socket omq.sock '{"v":2,"op":"stats"}'
+     omq_tool request --socket omq.sock \
+       '{"v":2,"op":"retract_facts","session":0,"facts":"Thumb(t)"}'
 
    Every command takes the same resource/observability flag spec
    ([common] below); --json output of classify/eval/decide renders
@@ -1048,7 +1050,10 @@ let serve_cmd =
           ($(b,--timeout)/$(b,--fuel)/$(b,--max-clauses)) become \
           per-request admission caps: a request asking for more is clamped, \
           a tripped budget degrades that one request to a typed partial \
-          response and the daemon keeps serving. With $(b,--journal) the \
+          response and the daemon keeps serving. Sessions are updatable in \
+          place: $(b,insert_facts)/$(b,retract_facts) maintain the answer \
+          set by delta rules and incremental solver calls instead of \
+          reopening. With $(b,--journal) the \
           daemon is crash-recoverable (journal-before-ack); with \
           $(b,--supervise) wedged worker domains are quarantined and \
           their sessions replayed. With $(b,--metrics-addr) the daemon \

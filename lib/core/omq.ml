@@ -32,6 +32,11 @@ type session = {
   omq : t;
   instance : Structure.Instance.t;
   max_extra : int;
+  (* updatable sessions ground dynamic engines (facts as solver
+     assumptions, bypassing the keyed LRU cache — a dynamic engine's
+     instance mutates in place) so insert_facts/retract_facts can
+     delta-maintain them instead of reopening *)
+  updatable : bool;
   extra_signature : Logic.Signature.t;
   (* one engine per countermodel bound 0..max_extra, grounded on first
      use (memo cells rather than Lazy.t so a per-call budget governs the
@@ -39,11 +44,12 @@ type session = {
   engines : Reasoner.Engine.t option ref array;
 }
 
-let open_session ?(max_extra = 2) omq d =
+let open_session ?(max_extra = 2) ?(updatable = false) omq d =
   {
     omq;
     instance = d;
     max_extra;
+    updatable;
     extra_signature = Query.Ucq.signature omq.query;
     engines = Array.init (max_extra + 1) (fun _ -> ref None);
   }
@@ -53,6 +59,7 @@ module Session = struct
 
   let instance s = s.instance
   let max_extra s = s.max_extra
+  let updatable s = s.updatable
 
   (* The engine at bound k, grounded on first use under [budget]. A
      budget trip during grounding leaves the cell unset (and the engine
@@ -63,9 +70,14 @@ module Session = struct
     | Some eng -> eng
     | None ->
         let eng =
-          Reasoner.Engine.session ?budget
-            ~extra_signature:s.extra_signature ~extra:k s.omq.ontology
-            s.instance
+          if s.updatable then
+            Reasoner.Engine.create ?budget ~dynamic:true
+              ~extra_signature:s.extra_signature ~extra:k s.omq.ontology
+              s.instance
+          else
+            Reasoner.Engine.session ?budget
+              ~extra_signature:s.extra_signature ~extra:k s.omq.ontology
+              s.instance
         in
         cell := Some eng;
         eng
@@ -190,6 +202,47 @@ module Session = struct
         | None -> ())
       s.engines;
     acc
+
+  (* ---------------------------------------------------------------- *)
+  (* Updates                                                            *)
+  (* ---------------------------------------------------------------- *)
+
+  let reopen s d = open_session ~max_extra:s.max_extra ~updatable:s.updatable s.omq d
+
+  let forced_engines s =
+    Array.to_list s.engines
+    |> List.filter_map (fun cell -> !cell)
+
+  (* Delta-update every engine this session has grounded; if any of them
+     needs a rebuild (static engine, new domain element, vacated domain
+     element) fall back to reopening the whole session on the updated
+     instance — never a mix, so all bounds keep answering over the same
+     D. Unforced bounds stay lazy and ground on the updated instance. *)
+  let insert_facts ?budget s facts =
+    let instance =
+      List.fold_left (fun i f -> Structure.Instance.add_fact f i) s.instance
+        facts
+    in
+    if not s.updatable then (reopen s instance, `Reopen)
+    else if
+      List.for_all
+        (fun eng -> Reasoner.Engine.insert_facts ?budget eng facts = `Delta)
+        (forced_engines s)
+    then ({ s with instance }, `Delta)
+    else (reopen s instance, `Reopen)
+
+  let retract_facts ?budget s facts =
+    let instance =
+      List.fold_left (fun i f -> Structure.Instance.remove_fact f i) s.instance
+        facts
+    in
+    if not s.updatable then (reopen s instance, `Reopen)
+    else if
+      List.for_all
+        (fun eng -> Reasoner.Engine.retract_facts ?budget eng facts = `Delta)
+        (forced_engines s)
+    then ({ s with instance }, `Delta)
+    else (reopen s instance, `Reopen)
 end
 
 (* ------------------------------------------------------------------ *)

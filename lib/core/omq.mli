@@ -35,13 +35,40 @@ val of_tbox : Dl.Tbox.t -> Query.Ucq.t -> t
     engine's LRU session cache. *)
 type session
 
-val open_session : ?max_extra:int -> t -> Structure.Instance.t -> session
+(** [open_session ?updatable omq d] opens an evaluation session.
+    Updatable sessions ground {e dynamic} engines — instance facts are
+    carried as solver assumptions, bypassing the keyed engine cache — so
+    {!Session.insert_facts} / {!Session.retract_facts} can delta-maintain
+    them instead of regrounding. *)
+val open_session :
+  ?max_extra:int -> ?updatable:bool -> t -> Structure.Instance.t -> session
 
 module Session : sig
   type t = session
 
   val instance : t -> Structure.Instance.t
   val max_extra : t -> int
+  val updatable : t -> bool
+
+  (** [insert_facts s facts] returns the session for D ∪ facts, either
+      by delta-maintaining every engine [s] has grounded ([`Delta]) or
+      by reopening on the union ([`Reopen]: non-updatable session, a
+      fact over a new domain element, or a static engine). Both results
+      answer identically to a fresh session on the updated instance. *)
+  val insert_facts :
+    ?budget:Reasoner.Budget.t ->
+    t ->
+    Structure.Instance.fact list ->
+    t * [ `Delta | `Reopen ]
+
+  (** [retract_facts s facts] returns the session for D minus [facts]
+      (absent facts are ignored); [`Reopen] additionally covers
+      retractions that vacate a domain element. *)
+  val retract_facts :
+    ?budget:Reasoner.Budget.t ->
+    t ->
+    Structure.Instance.fact list ->
+    t * [ `Delta | `Reopen ]
 
   (** O,D ⊨ q(ā): no countermodel at any bound 0..max_extra. *)
   val certain : ?budget:Reasoner.Budget.t -> t -> Structure.Element.t list -> bool

@@ -4,7 +4,11 @@
    is a fixed member order, so equal values produce equal bytes and a
    CLI evaluation is byte-compatible with a server response. *)
 
-let version = 1
+(* v2 added retract_facts. Decoding is lenient: every version back to
+   [min_version] is accepted, since v1 frames are a subset of v2 — a v1
+   client talking to a v2 daemon (or the reverse) stays compatible. *)
+let version = 2
+let min_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* JSON values and the parser                                           *)
@@ -250,6 +254,7 @@ type request =
   | Eval of { session : int; budget : budget_spec; want_stats : bool }
   | Classify of { ontology : string }
   | Insert_facts of { session : int; facts : string }
+  | Retract_facts of { session : int; facts : string }
   | Stats
   | Dump_telemetry
   | Shutdown
@@ -329,6 +334,7 @@ type response =
   | Decided of { verdict : [ `Ptime of int | `Conp_hard of string ] }
   | Decide_partial of { reason : Reasoner.Budget.reason; checked : int }
   | Inserted of { session : int; total_facts : int }
+  | Retracted of { session : int; total_facts : int }
   | Server_stats of {
       uptime_s : float;
       server_version : string;
@@ -398,6 +404,12 @@ let request_to_json ?id req =
           ("session", jint session);
           ("facts", jstr facts);
         ]
+    | Retract_facts { session; facts } ->
+        [
+          ("op", jstr "retract_facts");
+          ("session", jint session);
+          ("facts", jstr facts);
+        ]
     | Stats -> [ ("op", jstr "stats") ]
     | Dump_telemetry -> [ ("op", jstr "dump_telemetry") ]
     | Shutdown -> [ ("op", jstr "shutdown") ])
@@ -454,6 +466,9 @@ let response_to_json ?id resp =
       typed "decide" (reason_name reason) [ ("bouquets_checked", jint checked) ]
   | Inserted { session; total_facts } ->
       typed "insert_facts" "ok"
+        [ ("session", jint session); ("total_facts", jint total_facts) ]
+  | Retracted { session; total_facts } ->
+      typed "retract_facts" "ok"
         [ ("session", jint session); ("total_facts", jint total_facts) ]
   | Server_stats
       {
@@ -578,12 +593,13 @@ let check_version ms =
   match field ms "v" with
   | Some v -> (
       match as_exact_int v with
-      | Some n when n = version -> Ok ()
+      | Some n when n >= min_version && n <= version -> Ok ()
       | Some n ->
           Error
             ( Bad_version,
-              Printf.sprintf "unsupported protocol version %d (this build speaks %d)"
-                n version )
+              Printf.sprintf
+                "unsupported protocol version %d (this build speaks %d-%d)"
+                n min_version version )
       | None -> Error (Bad_version, "v must be an integer"))
   | None -> Error (Bad_version, "missing protocol version field v")
 
@@ -636,6 +652,10 @@ let request_of_json json =
       let* session = req_int ms "session" in
       let* facts = req_str ms "facts" in
       Ok (Insert_facts { session; facts })
+  | "retract_facts" ->
+      let* session = req_int ms "session" in
+      let* facts = req_str ms "facts" in
+      Ok (Retract_facts { session; facts })
   | "stats" -> Ok Stats
   | "dump_telemetry" -> Ok Dump_telemetry
   | "shutdown" -> Ok Shutdown
@@ -727,6 +747,10 @@ let response_of_json json =
       let* session = req_int ms "session" in
       let* total_facts = req_int ms "total_facts" in
       Ok (Inserted { session; total_facts })
+  | "retract_facts", "ok" ->
+      let* session = req_int ms "session" in
+      let* total_facts = req_int ms "total_facts" in
+      Ok (Retracted { session; total_facts })
   | "stats", "ok" ->
       let* uptime_s =
         match opt_num ms "uptime_s" with
@@ -811,6 +835,8 @@ let equal_request a b =
   | Classify a, Classify b -> String.equal a.ontology b.ontology
   | Insert_facts a, Insert_facts b ->
       Int.equal a.session b.session && String.equal a.facts b.facts
+  | Retract_facts a, Retract_facts b ->
+      Int.equal a.session b.session && String.equal a.facts b.facts
   | Stats, Stats | Dump_telemetry, Dump_telemetry | Shutdown, Shutdown -> true
   | _ -> false
 
@@ -844,6 +870,8 @@ let equal_response a b =
   | Decide_partial a, Decide_partial b ->
       a.reason = b.reason && Int.equal a.checked b.checked
   | Inserted a, Inserted b ->
+      Int.equal a.session b.session && Int.equal a.total_facts b.total_facts
+  | Retracted a, Retracted b ->
       Int.equal a.session b.session && Int.equal a.total_facts b.total_facts
   | Server_stats a, Server_stats b ->
       Float.equal a.uptime_s b.uptime_s

@@ -43,8 +43,14 @@ module Json : sig
   val equal : t -> t -> bool
 end
 
-(** The protocol version this build speaks. *)
+(** The newest protocol version this build speaks (v2 added
+    [retract_facts]). Frames are rendered at [version]. *)
 val version : int
+
+(** The oldest version still accepted when decoding: v1 frames are a
+    subset of v2, so old clients keep working against a new daemon and
+    vice versa. *)
+val min_version : int
 
 (** {1 Requests} *)
 
@@ -76,8 +82,14 @@ type request =
   | Classify of { ontology : string }
   | Insert_facts of {
       session : int;
-      facts : string;  (** instance text; the session is re-opened on
-                           the union instance, on the same worker *)
+      facts : string;  (** instance text; the session is delta-maintained
+                           (or re-opened on the union when the delta path
+                           cannot apply), on the same worker *)
+    }
+  | Retract_facts of {
+      session : int;
+      facts : string;  (** instance text; facts absent from the session
+                           are ignored (v2) *)
     }
   | Stats
   | Dump_telemetry
@@ -154,6 +166,8 @@ type response =
           coNP-hardness witness (pretty-printed instance) *)
   | Decide_partial of { reason : Reasoner.Budget.reason; checked : int }
   | Inserted of { session : int; total_facts : int }
+  | Retracted of { session : int; total_facts : int }
+      (** facts remaining in the session after the retraction (v2) *)
   | Server_stats of {
       uptime_s : float;
       server_version : string;

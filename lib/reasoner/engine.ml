@@ -24,8 +24,18 @@ module SMap = Logic.Names.SMap
 
 type t = {
   ontology : Logic.Ontology.t;
-  instance : Structure.Instance.t;
+  mutable instance : Structure.Instance.t;
   extra : int;
+  (* Dynamic engines carry D's facts as persistent solver assumptions
+     (the fact variables themselves — dense ranks in per-relation
+     blocks) instead of unit clauses: insertion adds an assumption over
+     the existing block, retraction drops one, and neither rebuilds the
+     solver. Learned clauses stay sound because assumptions never
+     participate in them ("learned clauses persist; assumptions do
+     not"). Static engines keep the cheaper unit-clause encoding. *)
+  dynamic : bool;
+  assumed : (Structure.Instance.fact, int) Hashtbl.t;
+  mutable fact_assumptions : int list;
   ground : Ground.t;
   solver : Dpll.t;
   reified : (Logic.Formula.t * (string * Structure.Element.t) list, int) Hashtbl.t;
@@ -98,16 +108,38 @@ let with_memo_delta st f =
     f
 
 let create ?stats:(st = Stats.create ()) ?(extra_signature = Logic.Signature.empty)
-    ?(budget = Budget.unlimited) ~extra o d =
-  Obs.Trace.with_span ~attrs:[ ("extra", Obs.Trace.Int extra) ] "engine.ground"
+    ?(budget = Budget.unlimited) ?(dynamic = false) ~extra o d =
+  Obs.Trace.with_span
+    ~attrs:
+      [ ("extra", Obs.Trace.Int extra); ("dynamic", Obs.Trace.Bool dynamic) ]
+    "engine.ground"
     (fun () ->
       let t0 = Obs.Clock.now () in
-      let g = with_memo_delta st (fun () -> Problem.build ~budget ~extra_signature ~extra o d) in
+      let g =
+        with_memo_delta st (fun () ->
+            Problem.build ~budget ~extra_signature ~assert_facts:(not dynamic)
+              ~extra o d)
+      in
+      let assumed = Hashtbl.create (if dynamic then 64 else 1) in
+      let fact_assumptions =
+        if not dynamic then []
+        else
+          Structure.Instance.FactSet.fold
+            (fun f acc ->
+              let v = Ground.fact_var g f in
+              Hashtbl.replace assumed f v;
+              v :: acc)
+            (Structure.Instance.fact_set d)
+            []
+      in
       let t =
         {
           ontology = o;
           instance = d;
           extra;
+          dynamic;
+          assumed;
+          fact_assumptions;
           ground = g;
           solver = Dpll.make ~nvars:(Ground.nvars g);
           reified = Hashtbl.create 64;
@@ -157,12 +189,19 @@ let instrumented t n_assumptions f =
           end)
         f)
 
+(* Dynamic engines prepend the fact assumptions to every solve. *)
+let all_assumptions t assumptions =
+  if t.fact_assumptions == [] then assumptions
+  else List.rev_append t.fact_assumptions assumptions
+
 let run_solver t assumptions =
+  let assumptions = all_assumptions t assumptions in
   instrumented t (List.length assumptions) (fun () ->
       Dpll.solve_assuming ~budget:t.budget t.solver assumptions)
 
 (* Same, but only the verdict: no model array is built. *)
 let run_solver_sat t assumptions =
+  let assumptions = all_assumptions t assumptions in
   instrumented t (List.length assumptions) (fun () ->
       Dpll.sat_assuming ~budget:t.budget t.solver assumptions)
 
@@ -270,6 +309,128 @@ let certain_disjunction ?budget t pointed = certain_pointed ?budget t pointed
 let certain_formula ?(budget = Budget.unlimited) ?(env = SMap.empty) t f =
   with_budget t budget (fun () ->
       not (run_solver_sat t [ -reified_lit ~env t f ]))
+
+(* ------------------------------------------------------------------ *)
+(* Delta maintenance (dynamic engines)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_dynamic t = t.dynamic
+
+let delta_metric ?(by = 1) name =
+  Obs.Metrics.incr ~by (Obs.Metrics.global ()) name
+
+(* [insert_facts t facts] admits new facts into a dynamic session as
+   additional assumptions. New relations are registered on demand
+   (their variable blocks append after the existing ones); a fact over
+   an element outside the grounded domain cannot be represented — the
+   quantifier expansions would have to be redone — so the caller is told
+   to rebuild. Inserting changes D upward: a cached [Some false]
+   consistency verdict survives, [Some true] does not; the cached
+   witness survives iff it already contains the new facts. *)
+let insert_facts ?(budget = Budget.unlimited) t facts =
+  Obs.Trace.with_span
+    ~attrs:[ ("facts", Obs.Trace.Int (List.length facts)) ]
+    "engine.delta.insert"
+    (fun () ->
+      if not t.dynamic then begin
+        delta_metric "engine.delta.rebuilds";
+        `Needs_rebuild
+      end
+      else
+        with_budget t budget @@ fun () ->
+        let fresh =
+          List.sort_uniq Structure.Instance.compare_fact
+            (List.filter
+               (fun f -> not (Structure.Instance.mem f t.instance))
+               facts)
+        in
+        match
+          List.map
+            (fun (f : Structure.Instance.fact) ->
+              match Ground.fact_var t.ground f with
+              | v -> (f, v)
+              | exception Invalid_argument _ ->
+                  Ground.ensure_signature t.ground
+                    (Logic.Signature.add f.rel (List.length f.args)
+                       Logic.Signature.empty);
+                  (f, Ground.fact_var t.ground f))
+            fresh
+        with
+        | exception Invalid_argument _ ->
+            delta_metric "engine.delta.rebuilds";
+            `Needs_rebuild
+        | vars ->
+            sync t;
+            List.iter
+              (fun (f, v) ->
+                Hashtbl.replace t.assumed f v;
+                t.fact_assumptions <- v :: t.fact_assumptions;
+                t.instance <- Structure.Instance.add_fact f t.instance)
+              vars;
+            (match t.consistent with
+            | Some true -> t.consistent <- None
+            | _ -> ());
+            (match t.witness with
+            | Some w
+              when List.for_all
+                     (fun (f, _) -> Structure.Instance.mem f w)
+                     vars ->
+                ()
+            | Some _ -> t.witness <- None
+            | None -> ());
+            delta_metric ~by:(List.length vars) "engine.delta.inserts";
+            `Delta)
+
+(* [retract_facts t facts] drops facts from a dynamic session by
+   forgetting their assumptions. Retraction changes D downward: a cached
+   [Some true] verdict and the cached witness (a model containing the
+   old D, hence the new one) both survive; [Some false] does not. A
+   retraction that vacates a domain element is reported as
+   [`Needs_rebuild]: the grounding quantifies over the old domain, and
+   answering over a larger domain than dom(D) would not match a session
+   reopened on the shrunk instance. *)
+let retract_facts ?(budget = Budget.unlimited) t facts =
+  Obs.Trace.with_span
+    ~attrs:[ ("facts", Obs.Trace.Int (List.length facts)) ]
+    "engine.delta.retract"
+    (fun () ->
+      if not t.dynamic then begin
+        delta_metric "engine.delta.rebuilds";
+        `Needs_rebuild
+      end
+      else
+        with_budget t budget @@ fun () ->
+        let present =
+          List.sort_uniq Structure.Instance.compare_fact
+            (List.filter (fun f -> Structure.Instance.mem f t.instance) facts)
+        in
+        let shrunk =
+          List.fold_left
+            (fun i f -> Structure.Instance.remove_fact f i)
+            t.instance present
+        in
+        if
+          not
+            (Structure.Element.Set.equal
+               (Structure.Instance.domain shrunk)
+               (Structure.Instance.domain t.instance))
+        then begin
+          delta_metric "engine.delta.rebuilds";
+          `Needs_rebuild
+        end
+        else begin
+          List.iter (fun f -> Hashtbl.remove t.assumed f) present;
+          if present <> [] then begin
+            t.instance <- shrunk;
+            t.fact_assumptions <-
+              Hashtbl.fold (fun _ v acc -> v :: acc) t.assumed [];
+            match t.consistent with
+            | Some false -> t.consistent <- None
+            | _ -> ()
+          end;
+          delta_metric ~by:(List.length present) "engine.delta.retracts";
+          `Delta
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* The session cache                                                    *)

@@ -23,11 +23,18 @@ type t
     pre-registers further relations (query relations are also admitted
     on demand later). [stats] defaults to a fresh per-session record;
     every update is mirrored into {!Stats.global}. May raise
-    {!Budget.Exhausted} while grounding when budgeted. *)
+    {!Budget.Exhausted} while grounding when budgeted.
+
+    With [~dynamic:true] the instance's facts are carried as persistent
+    solver assumptions (their dense-rank fact variables) instead of unit
+    clauses, enabling {!insert_facts} / {!retract_facts} without a
+    solver rebuild. Dynamic engines mutate their instance in place and
+    must not enter the keyed {!session} cache. *)
 val create :
   ?stats:Stats.t ->
   ?extra_signature:Logic.Signature.t ->
   ?budget:Budget.t ->
+  ?dynamic:bool ->
   extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->
@@ -72,6 +79,35 @@ val certain_formula :
   t ->
   Logic.Formula.t ->
   bool
+
+(** {2 Delta maintenance}
+
+    Only engines created with [~dynamic:true] maintain deltas; both
+    operations answer [`Needs_rebuild] on static engines, on facts over
+    elements outside the grounded domain, and on retractions that would
+    vacate a domain element (the grounding quantifies over the original
+    domain, so shrinking it requires a reopen to keep verdicts identical
+    to a fresh session). On [`Delta] the engine's instance, memoized
+    consistency verdict and cached witness are all kept consistent, and
+    [engine.delta.*] spans and metrics are emitted. *)
+
+val is_dynamic : t -> bool
+
+(** Add facts as new assumptions. New relations are admitted on demand;
+    already-present facts are ignored. *)
+val insert_facts :
+  ?budget:Budget.t ->
+  t ->
+  Structure.Instance.fact list ->
+  [ `Delta | `Needs_rebuild ]
+
+(** Drop facts by forgetting their assumptions. Absent facts are
+    ignored. *)
+val retract_facts :
+  ?budget:Budget.t ->
+  t ->
+  Structure.Instance.fact list ->
+  [ `Delta | `Needs_rebuild ]
 
 (** {2 The session cache}
 

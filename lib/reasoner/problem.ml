@@ -15,7 +15,7 @@ let signature ?(extra_signature = Logic.Signature.empty) o d =
     (Logic.Ontology.signature o)
     (Logic.Signature.union (Structure.Instance.signature d) extra_signature)
 
-let build ?budget ?extra_signature ~extra o d =
+let build ?budget ?extra_signature ?(assert_facts = true) ~extra o d =
   Obs.Trace.with_span ~attrs:[ ("extra", Obs.Trace.Int extra) ] "ground.build"
   @@ fun () ->
   let dom = domain ~extra d in
@@ -24,7 +24,9 @@ let build ?budget ?extra_signature ~extra o d =
       ~signature:(signature ?extra_signature o d)
       ()
   in
-  Ground.assert_instance g d;
+  (* Dynamic engines assert D's facts as solver assumptions instead of
+     unit clauses, so retraction is a dropped assumption, not a rebuild. *)
+  if assert_facts then Ground.assert_instance g d;
   List.iter (Ground.assert_formula g) (Logic.Ontology.all_sentences o);
   if Obs.Trace.enabled () then begin
     Obs.Trace.add_attr "domain" (Obs.Trace.Int (List.length dom));

@@ -16,10 +16,14 @@ val signature :
 
 (** [build ?budget ?extra_signature ~extra o d] grounds O and D over the
     bounded domain: instance facts asserted, all ontology sentences
-    asserted. May raise {!Budget.Exhausted} when budgeted. *)
+    asserted. With [~assert_facts:false] the instance contributes only
+    its domain and signature — the caller assumes its facts as solver
+    literals instead (dynamic engines). May raise {!Budget.Exhausted}
+    when budgeted. *)
 val build :
   ?budget:Budget.t ->
   ?extra_signature:Logic.Signature.t ->
+  ?assert_facts:bool ->
   extra:int ->
   Logic.Ontology.t ->
   Structure.Instance.t ->

@@ -59,7 +59,7 @@ type config = {
   flight_capacity : int;
 }
 
-let version = "0.8.0"
+let version = "0.9.0"
 let default_max_frame = 8 * 1024 * 1024
 let default_max_outbuf = 64 * 1024 * 1024
 let default_journal_compact = 1024 * 1024
@@ -427,7 +427,9 @@ let open_job ~sid ~worker ~ontology ~data ~query ~max_extra () =
   let* inst = load_instance_text "data" data in
   let* q = load_query_text query in
   let omq = Omq.of_tbox tbox q in
-  let session = Omq.open_session ~max_extra omq inst in
+  (* Daemon sessions are updatable: their engines carry fact assumptions
+     so insert_facts/retract_facts delta-maintain instead of reopening. *)
+  let session = Omq.open_session ~max_extra ~updatable:true omq inst in
   let log = [ Journal.Open { sid; ontology; data; query; max_extra } ] in
   ( P.Opened { session = sid },
     Some (New (sid, { omq; session; worker; max_extra; log })) )
@@ -495,18 +497,56 @@ let classify_job ontology () =
           },
         None )
 
+(* Insert/retract delta-maintain the session's engines where possible
+   (Omq.Session falls back to a reopen when not); the strategy taken is
+   counted on the worker's registry and ships with the completion
+   snapshot. *)
 let insert_job (se : sess) sid facts () =
   match load_instance_text "facts" facts with
   | Error msg -> (P.Rejected { kind = P.Bad_request; message = msg }, None)
   | Ok extra ->
-      let union = Structure.Instance.union (Omq.Session.instance se.session) extra in
-      let session = Omq.open_session ~max_extra:se.max_extra se.omq union in
-      ( P.Inserted { session = sid; total_facts = Structure.Instance.cardinal union },
+      let session, strategy =
+        Omq.Session.insert_facts se.session (Structure.Instance.facts extra)
+      in
+      (match strategy with
+      | `Delta -> metric "serve.delta.inserts"
+      | `Reopen -> metric "serve.delta.reopens");
+      ( P.Inserted
+          {
+            session = sid;
+            total_facts =
+              Structure.Instance.cardinal (Omq.Session.instance session);
+          },
         Some
           (Refresh
              ( sid,
                { se with session; log = Journal.Insert { sid; facts } :: se.log }
              )) )
+
+let retract_job (se : sess) sid facts () =
+  match load_instance_text "facts" facts with
+  | Error msg -> (P.Rejected { kind = P.Bad_request; message = msg }, None)
+  | Ok gone ->
+      let session, strategy =
+        Omq.Session.retract_facts se.session (Structure.Instance.facts gone)
+      in
+      (match strategy with
+      | `Delta -> metric "serve.delta.retracts"
+      | `Reopen -> metric "serve.delta.reopens");
+      ( P.Retracted
+          {
+            session = sid;
+            total_facts =
+              Structure.Instance.cardinal (Omq.Session.instance session);
+          },
+        Some
+          (Refresh
+             ( sid,
+               {
+                 se with
+                 session;
+                 log = Journal.Retract { sid; facts } :: se.log;
+               } )) )
 
 (* ------------------------------------------------------------------ *)
 (* Journal plumbing (all on the loop domain) *)
@@ -878,6 +918,17 @@ let dispatch st conn rid (req : P.request) =
             else
               submit_job st conn rid ~worker:se.worker ~sid:session
                 ~op:"insert_facts" (insert_job se session facts))
+  | P.Retract_facts { session; facts } -> (
+      if Hashtbl.mem st.replaying session then
+        respond st conn rid (replay_pending session)
+      else
+        match Hashtbl.find_opt st.sessions session with
+        | None -> respond st conn rid (unknown_session session)
+        | Some se ->
+            if shed st then respond st conn rid overloaded
+            else
+              submit_job st conn rid ~worker:se.worker ~sid:session
+                ~op:"retract_facts" (retract_job se session facts))
   | P.Stats -> respond st conn rid (server_stats st)
   | P.Dump_telemetry ->
       let telemetry =

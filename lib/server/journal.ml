@@ -3,20 +3,24 @@ module P = Omq.Protocol
 type entry =
   | Open of { sid : int; ontology : string; data : string; query : string; max_extra : int }
   | Insert of { sid : int; facts : string }
+  | Retract of { sid : int; facts : string }
   | Close of { sid : int }
 
 let sid_of = function
-  | Open { sid; _ } | Insert { sid; _ } | Close { sid } -> sid
+  | Open { sid; _ } | Insert { sid; _ } | Retract { sid; _ } | Close { sid } ->
+      sid
 
 (* An [Open] is the open_session wire frame with the journal's session
-   id in the frame's ["id"] slot; Insert/Close already carry the sid in
-   their [session] field, so their renderings are byte-identical to the
-   id-less wire requests. *)
+   id in the frame's ["id"] slot; Insert/Retract/Close already carry the
+   sid in their [session] field, so their renderings are byte-identical
+   to the id-less wire requests. *)
 let render = function
   | Open { sid; ontology; data; query; max_extra } ->
       P.render_request ~id:sid (P.Open_session { ontology; data; query; max_extra })
   | Insert { sid; facts } ->
       P.render_request (P.Insert_facts { session = sid; facts })
+  | Retract { sid; facts } ->
+      P.render_request (P.Retract_facts { session = sid; facts })
   | Close { sid } -> P.render_request (P.Close_session { session = sid })
 
 let entry_of_line line =
@@ -25,6 +29,8 @@ let entry_of_line line =
       Ok (Open { sid; ontology; data; query; max_extra })
   | Ok (None, P.Open_session _) -> Error "open entry without a session id"
   | Ok (_, P.Insert_facts { session; facts }) -> Ok (Insert { sid = session; facts })
+  | Ok (_, P.Retract_facts { session; facts }) ->
+      Ok (Retract { sid = session; facts })
   | Ok (_, P.Close_session { session }) -> Ok (Close { sid = session })
   | Ok (_, _) -> Error "not a journal operation"
   | Error (_, (_, msg)) -> Error msg
@@ -83,6 +89,46 @@ let load dir =
     (List.rev entries, match bad with None -> `Ok | Some m -> `Corrupt m)
   end
 
+(* One fact per line, [R(a,b)], in [compare_fact] order: the canonical
+   (deterministic, re-parsable) rendering of a folded data state. *)
+let render_instance inst =
+  Structure.Instance.facts inst
+  |> List.map (fun (f : Structure.Instance.fact) ->
+         Printf.sprintf "%s(%s)" f.rel
+           (String.concat "," (List.map Structure.Element.to_string f.args)))
+  |> String.concat "\n"
+
+(* Folded per-session data. Retraction cannot be expressed by text
+   concatenation, so blocks are parsed and folded into a net instance;
+   if any block fails to parse (it should not — the daemon validates
+   facts before acknowledging, and only acknowledged operations are
+   journaled) the session degrades to the historical raw-concatenation
+   fold, under which retract blocks are ignored. *)
+type data_fold = Net of Structure.Instance.t | Raw of string list
+
+let fold_data state e =
+  let parse s = Structure.Parse.instance_of_string_result s in
+  match (state, e) with
+  | _, `Open data -> (
+      match parse data with Ok i -> Net i | Error _ -> Raw [ data ])
+  | Net i, `Insert facts -> (
+      match parse facts with
+      | Ok d -> Net (Structure.Instance.union i d)
+      | Error _ -> Raw [ facts; render_instance i ])
+  | Net i, `Retract facts -> (
+      match parse facts with
+      | Ok d ->
+          Net
+            (Structure.Instance.FactSet.fold Structure.Instance.remove_fact
+               (Structure.Instance.fact_set d) i)
+      | Error _ -> Net i)
+  | Raw ds, `Insert facts -> Raw (facts :: ds)
+  | Raw ds, `Retract _ -> Raw ds
+
+let render_data = function
+  | Net i -> render_instance i
+  | Raw ds -> String.concat "\n" (List.rev ds)
+
 let live_sessions entries =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in
@@ -91,12 +137,18 @@ let live_sessions entries =
       match e with
       | Open { sid; ontology; data; query; max_extra } ->
           if not (Hashtbl.mem tbl sid) then order := sid :: !order;
-          Hashtbl.replace tbl sid (ontology, [ data ], query, max_extra, 1)
+          Hashtbl.replace tbl sid
+            (ontology, fold_data (Raw []) (`Open data), query, max_extra, 1)
       | Insert { sid; facts } -> (
           match Hashtbl.find_opt tbl sid with
           | None -> () (* insert for a closed/unknown session: ignore *)
           | Some (o, ds, q, m, n) ->
-              Hashtbl.replace tbl sid (o, facts :: ds, q, m, n + 1))
+              Hashtbl.replace tbl sid (o, fold_data ds (`Insert facts), q, m, n + 1))
+      | Retract { sid; facts } -> (
+          match Hashtbl.find_opt tbl sid with
+          | None -> ()
+          | Some (o, ds, q, m, n) ->
+              Hashtbl.replace tbl sid (o, fold_data ds (`Retract facts), q, m, n + 1))
       | Close { sid } ->
           Hashtbl.remove tbl sid;
           order := List.filter (fun s -> s <> sid) !order)
@@ -105,8 +157,7 @@ let live_sessions entries =
     (fun sid ->
       match Hashtbl.find_opt tbl sid with
       | None -> assert false
-      | Some (o, ds, q, m, n) ->
-          (sid, (o, String.concat "\n" (List.rev ds), q, m), n))
+      | Some (o, ds, q, m, n) -> (sid, (o, render_data ds, q, m), n))
     !order
 
 let max_sid entries = List.fold_left (fun m e -> max m (sid_of e)) 0 entries

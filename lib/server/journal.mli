@@ -22,6 +22,7 @@
 type entry =
   | Open of { sid : int; ontology : string; data : string; query : string; max_extra : int }
   | Insert of { sid : int; facts : string }
+  | Retract of { sid : int; facts : string }
   | Close of { sid : int }
 
 val sid_of : entry -> int
@@ -55,9 +56,13 @@ val load : string -> entry list * [ `Ok | `Corrupt of string ]
 
 (** Replay-fold a journal into its live sessions: for each session that
     was opened and not closed, the [Open] parameters with [data]
-    replaced by the union of the original data and every inserted facts
-    block (concatenated in journal order, newline-separated), plus how
-    many entries contributed. Sessions are listed in open order. *)
+    replaced by the {e net} instance text — original data plus every
+    inserted block minus every retracted block, rendered one fact per
+    line in canonical order — plus how many entries contributed.
+    Sessions are listed in open order. Should a data block fail to parse
+    (impossible for journals written by the daemon, which validates
+    before acknowledging), that session degrades to the historical
+    concatenation fold and its retract entries are ignored. *)
 val live_sessions :
   entry list ->
   (int * (string * string * string * int) * int) list

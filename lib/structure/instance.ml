@@ -86,6 +86,28 @@ let add_fact f t =
       ~domain ~incidence
       ~signature:(Logic.Signature.add f.rel (List.length f.args) t.signature)
 
+let remove_fact f t =
+  if not (FactSet.mem f t.facts) then t
+  else
+    let facts = FactSet.remove f t.facts in
+    (* An element leaves the domain when its last incident fact goes;
+       elements without an incidence entry were added via [add_element]
+       and stay. *)
+    let domain, incidence =
+      List.fold_left
+        (fun (dom, inc) e ->
+          match Element.Map.find_opt e inc with
+          | None -> (dom, inc)
+          | Some fs ->
+              let fs = FactSet.remove f fs in
+              if FactSet.is_empty fs then
+                (Element.Set.remove e dom, Element.Map.remove e inc)
+              else (dom, Element.Map.add e fs inc))
+        (t.domain, t.incidence)
+        (List.sort_uniq Element.compare f.args)
+    in
+    mk ~facts ~domain ~incidence ~signature:t.signature
+
 let of_facts fs = List.fold_left (fun t f -> add_fact f t) empty fs
 
 let of_list l = of_facts (List.map (fun (r, args) -> fact r args) l)

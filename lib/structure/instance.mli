@@ -30,6 +30,12 @@ val uid : t -> int
 val add_element : Element.t -> t -> t
 
 val add_fact : fact -> t -> t
+
+(** [remove_fact f t] deletes [f]; elements whose last incident fact was
+    [f] leave the domain (isolated elements added via [add_element] are
+    kept). The signature is unchanged. No-op when [f] is absent. *)
+val remove_fact : fact -> t -> t
+
 val of_facts : fact list -> t
 
 (** [of_list [(r, args); ...]] builds an instance from labelled tuples. *)

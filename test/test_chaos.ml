@@ -249,7 +249,10 @@ let test_journal_load_and_compact () =
   (match Journal.live_sessions entries with
   | [ (1, (o, d, q, me), folded) ] ->
       check_str "ontology preserved" onto o;
-      check_str "data is the union" (data ^ "\nThumb(u)") d;
+      (* net-data fold renders canonically: one fact per line, in
+         compare_fact order, no spaces after commas *)
+      check_str "data is the union"
+        "Hand(h)\nThumb(t)\nThumb(u)\nhasFinger(h,t)" d;
       check_str "query preserved" query q;
       check_int "max_extra preserved" 2 me;
       check_int "two entries folded" 2 folded
@@ -282,52 +285,80 @@ let test_journal_load_and_compact () =
   check_int "append after compact lands" 2 (List.length final)
 
 (* Journal replay equivalence, as a property: for any valid history of
-   opens / inserts / closes, folding the journal yields exactly the
-   model's live sessions with union data in order. *)
+   opens / inserts / retracts / closes, folding the journal yields
+   exactly the model's live sessions — net fact sets in canonical
+   rendering — in open order. *)
+
+(* The model's view of a fact set, rendered the way live_sessions does:
+   parse and re-render canonically (one fact per line, compare_fact
+   order). *)
+let canon facts =
+  match
+    Structure.Parse.instance_of_string_result (String.concat "\n" facts)
+  with
+  | Error m -> Alcotest.failf "model facts unparsable: %s" m
+  | Ok i ->
+      Structure.Instance.facts i
+      |> List.map (fun (f : Structure.Instance.fact) ->
+             Printf.sprintf "%s(%s)" f.rel
+               (String.concat ","
+                  (List.map Structure.Element.to_string f.args)))
+      |> String.concat "\n"
+
 let replay_equivalence =
   QCheck.Test.make ~count:200 ~name:"journal replay equals model"
-    QCheck.(list (int_range 0 8))
+    QCheck.(list (int_range 0 11))
     (fun script ->
       let next = ref 1 in
-      let live = ref [] (* (sid, data, inserts rev), open order reversed *) in
+      (* (sid, net facts, entries folded), open order reversed *)
+      let live = ref [] in
       let entries = ref [] in
+      let update sid f =
+        live :=
+          List.map
+            (fun (s, fs, n) -> if s = sid then (s, f fs, n + 1) else (s, fs, n))
+            !live
+      in
       List.iter
         (fun n ->
           let nlive = List.length !live in
-          if nlive = 0 || n mod 3 = 0 then begin
+          if nlive = 0 || n mod 4 = 0 then begin
             let sid = !next in
             incr next;
             let d = Printf.sprintf "D(d%d)" sid in
-            live := (sid, d, []) :: !live;
+            live := (sid, [ d ], 1) :: !live;
             entries :=
               Journal.Open
                 { sid; ontology = "o"; data = d; query = "q"; max_extra = 1 }
               :: !entries
           end
-          else if n mod 3 = 1 then begin
-            let i = n mod nlive in
-            let sid, d, ins = List.nth !live i in
-            let f = Printf.sprintf "F(f%d_%d)" sid (List.length ins) in
-            live :=
-              List.map
-                (fun (s, d', ins') ->
-                  if s = sid then (s, d', f :: ins') else (s, d', ins'))
-                !live;
-            ignore d;
+          else if n mod 4 = 1 then begin
+            let sid, fs, _ = List.nth !live (n mod nlive) in
+            let f = Printf.sprintf "F(f%d_%d)" sid (List.length fs) in
+            update sid (fun fs' -> f :: fs');
+            ignore fs;
             entries := Journal.Insert { sid; facts = f } :: !entries
           end
+          else if n mod 4 = 2 then begin
+            (* retract one present fact, or one that was never there —
+               both must fold correctly (absent facts are no-ops) *)
+            let sid, fs, _ = List.nth !live (n mod nlive) in
+            let f =
+              match fs with
+              | f :: _ when n / 4 mod 2 = 0 -> f
+              | _ -> "Absent(nobody)"
+            in
+            update sid (List.filter (fun f' -> f' <> f));
+            entries := Journal.Retract { sid; facts = f } :: !entries
+          end
           else begin
-            let i = n mod nlive in
-            let sid, _, _ = List.nth !live i in
+            let sid, _, _ = List.nth !live (n mod nlive) in
             live := List.filter (fun (s, _, _) -> s <> sid) !live;
             entries := Journal.Close { sid } :: !entries
           end)
         script;
       let expected =
-        List.rev_map
-          (fun (sid, d, ins) ->
-            (sid, String.concat "\n" (d :: List.rev ins), 1 + List.length ins))
-          !live
+        List.rev_map (fun (sid, fs, n) -> (sid, canon fs, n)) !live
       in
       let got =
         List.map
@@ -474,7 +505,8 @@ let test_drops_survived () =
 
 let test_journal_restart () =
   let dir = fresh_name "journal" in
-  (* first life: two sessions, an acked insert, then exit *)
+  (* first life: two sessions, an acked insert, an acked
+     insert-then-retract pair, then exit *)
   let s1, s2 =
     with_daemon ~journal:dir @@ fun addr ->
     let c = connect_exn addr in
@@ -483,18 +515,25 @@ let test_journal_restart () =
     (match call_exn c (P.Insert_facts { session = s1; facts = "Thumb(u)" }) with
     | P.Inserted _ -> ()
     | r -> Alcotest.failf "insert failed: %s" (P.render_response r));
+    (match call_exn c (P.Insert_facts { session = s2; facts = "Thumb(w)" }) with
+    | P.Inserted _ -> ()
+    | r -> Alcotest.failf "insert failed: %s" (P.render_response r));
+    (match call_exn c (P.Retract_facts { session = s2; facts = "Thumb(w)" }) with
+    | P.Retracted _ -> ()
+    | r -> Alcotest.failf "retract failed: %s" (P.render_response r));
     Omqd.Client.close c;
     (s1, s2)
   in
   let with_insert = P.render_response (direct_eval ~extra:"Thumb(u)" ()) in
   let plain = P.render_response (direct_eval ()) in
-  (* second life: every acked session answers identically; fresh ids
+  (* second life: every acked session answers identically; the retract
+     survived replay (s2 nets out to the original data); fresh ids
      never collide with replayed ones; a close is journalled too *)
   with_daemon ~journal:dir (fun addr ->
       let c = connect_exn addr in
       check_str "replayed session kept its acked insert" with_insert
         (P.render_response (call_exn c (eval_req s1)));
-      check_str "second replayed session intact" plain
+      check_str "replayed session kept its acked retract" plain
         (P.render_response (call_exn c (eval_req s2)));
       let s3 = open_exn c in
       Alcotest.(check bool) "fresh sid past every journalled one" true

@@ -12,6 +12,7 @@ let () =
       ("engine", Test_engine.suite);
       ("budget", Test_budget.suite);
       ("datalog", Test_datalog.suite);
+      ("incremental", Test_incremental.suite);
       ("material", Test_material.suite);
       ("csp", Test_csp.suite);
       ("sat22", Test_sat22.suite);

@@ -51,6 +51,9 @@ let gen_request =
         map2
           (fun session facts -> P.Insert_facts { session; facts })
           small_nat gen_name;
+        map2
+          (fun session facts -> P.Retract_facts { session; facts })
+          small_nat gen_name;
         return P.Stats;
         return P.Dump_telemetry;
         return P.Shutdown;
@@ -124,6 +127,9 @@ let gen_response =
           gen_reason small_nat;
         map2
           (fun session total_facts -> P.Inserted { session; total_facts })
+          small_nat small_nat;
+        map2
+          (fun session total_facts -> P.Retracted { session; total_facts })
           small_nat small_nat;
         map3
           (fun uptime_s (sessions, served) ((errors, inflight), (jb, je)) ->
@@ -267,6 +273,29 @@ let test_malformed () =
   | Ok (None, P.Stats) -> ()
   | _ -> Alcotest.fail "unknown field should be ignored"
 
+(* Version leniency: decoding accepts the whole [min_version, version]
+   range, so v1 clients keep working against a v2 daemon; rendering is
+   always at [version]. *)
+let test_version_leniency () =
+  check "speaks a range" true (P.min_version < P.version);
+  (match P.parse_request "{\"v\":1,\"op\":\"stats\"}" with
+  | Ok (None, P.Stats) -> ()
+  | _ -> Alcotest.fail "v1 frame should decode");
+  (match
+     P.parse_request
+       "{\"v\":2,\"op\":\"retract_facts\",\"session\":3,\"facts\":\"A(x)\"}"
+   with
+  | Ok (None, P.Retract_facts { session = 3; facts = "A(x)" }) -> ()
+  | _ -> Alcotest.fail "v2 retract_facts frame should decode");
+  (match P.parse_request "{\"v\":0,\"op\":\"stats\"}" with
+  | Error (_, (P.Bad_version, _)) -> ()
+  | _ -> Alcotest.fail "v0 frame should be rejected");
+  match
+    P.parse_response "{\"v\":2,\"type\":\"retract_facts\",\"outcome\":\"ok\",\"session\":3,\"total_facts\":7}"
+  with
+  | Ok (None, P.Retracted { session = 3; total_facts = 7 }) -> ()
+  | _ -> Alcotest.fail "retracted response should decode"
+
 let test_json_corners () =
   (match P.Json.parse " [1, 2.5, \"a\\u00e9\", true, null] " with
   | Ok
@@ -295,7 +324,7 @@ let test_json_corners () =
 
 let test_literal_renderings () =
   check_str "eval ok"
-    "{\"v\":1,\"type\":\"eval\",\"outcome\":\"ok\",\"consistent\":true,\"boolean\":false,\"count\":1,\"answers\":[[\"h\"]]}"
+    "{\"v\":2,\"type\":\"eval\",\"outcome\":\"ok\",\"consistent\":true,\"boolean\":false,\"count\":1,\"answers\":[[\"h\"]]}"
     (P.render_response
        (P.Evaled
           {
@@ -303,7 +332,7 @@ let test_literal_renderings () =
             stats = None;
           }));
   check_str "boolean eval renders certain flag"
-    "{\"v\":1,\"type\":\"eval\",\"outcome\":\"ok\",\"consistent\":true,\"boolean\":true,\"certain\":true}"
+    "{\"v\":2,\"type\":\"eval\",\"outcome\":\"ok\",\"consistent\":true,\"boolean\":true,\"certain\":true}"
     (P.render_response
        (P.Evaled
           {
@@ -311,7 +340,7 @@ let test_literal_renderings () =
             stats = None;
           }));
   check_str "tripped eval"
-    "{\"v\":1,\"id\":4,\"type\":\"eval\",\"outcome\":\"out_of_fuel\",\"certified\":[],\"resume_from\":[\"h\"]}"
+    "{\"v\":2,\"id\":4,\"type\":\"eval\",\"outcome\":\"out_of_fuel\",\"certified\":[],\"resume_from\":[\"h\"]}"
     (P.render_response ~id:4
        (P.Partial
           {
@@ -321,11 +350,11 @@ let test_literal_renderings () =
             stats = None;
           }));
   check_str "typed error"
-    "{\"v\":1,\"type\":\"error\",\"outcome\":\"error\",\"error\":\"unknown_session\",\"message\":\"no session 42\"}"
+    "{\"v\":2,\"type\":\"error\",\"outcome\":\"error\",\"error\":\"unknown_session\",\"message\":\"no session 42\"}"
     (P.render_response
        (P.Rejected { kind = P.Unknown_session; message = "no session 42" }));
   check_str "open_session request"
-    "{\"v\":1,\"id\":0,\"op\":\"open_session\",\"ontology\":\"O\",\"data\":\"D\",\"query\":\"Q\",\"max_extra\":2}"
+    "{\"v\":2,\"id\":0,\"op\":\"open_session\",\"ontology\":\"O\",\"data\":\"D\",\"query\":\"Q\",\"max_extra\":2}"
     (P.render_request ~id:0
        (P.Open_session
           { ontology = "O"; data = "D"; query = "Q"; max_extra = 2 }))
@@ -338,6 +367,7 @@ let suite =
     QCheck_alcotest.to_alcotest test_response_roundtrip_id;
     QCheck_alcotest.to_alcotest test_json_roundtrip;
     Alcotest.test_case "malformed frames" `Quick test_malformed;
+    Alcotest.test_case "version leniency" `Quick test_version_leniency;
     Alcotest.test_case "json corners" `Quick test_json_corners;
     Alcotest.test_case "literal renderings" `Quick test_literal_renderings;
   ]

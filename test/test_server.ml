@@ -129,6 +129,37 @@ let test_insert_facts () =
     (P.render_response resp);
   Omqd.Client.close c
 
+(* The v2 op: retracting the inserted facts must return the session to
+   answers byte-identical to a cold session on the original data. *)
+let test_retract_facts () =
+  with_daemon @@ fun addr ->
+  let c = connect_exn addr in
+  let sid = open_exn c in
+  (match call_exn c (P.Insert_facts { session = sid; facts = "Thumb(u)" }) with
+  | P.Inserted _ -> ()
+  | r -> Alcotest.failf "insert failed: %s" (P.render_response r));
+  (match call_exn c (P.Retract_facts { session = sid; facts = "Thumb(u)" }) with
+  | P.Retracted { session; total_facts } ->
+      Alcotest.(check int) "same session id" sid session;
+      Alcotest.(check int) "back to the original cardinality" 3 total_facts
+  | r -> Alcotest.failf "retract failed: %s" (P.render_response r));
+  let resp = call_exn c (eval_req sid) in
+  check_str "post-retract answers equal direct evaluation of the original"
+    (P.render_response (direct_eval ()))
+    (P.render_response resp);
+  (* retracting an absent fact is a no-op, not an error *)
+  (match
+     call_exn c (P.Retract_facts { session = sid; facts = "Thumb(nobody)" })
+   with
+  | P.Retracted { total_facts; _ } ->
+      Alcotest.(check int) "no-op retract keeps cardinality" 3 total_facts
+  | r -> Alcotest.failf "no-op retract failed: %s" (P.render_response r));
+  (* unknown session gets the typed rejection *)
+  (match call_exn c (P.Retract_facts { session = 999; facts = "Thumb(u)" }) with
+  | P.Rejected { kind = P.Unknown_session; _ } -> ()
+  | r -> Alcotest.failf "expected unknown_session: %s" (P.render_response r));
+  Omqd.Client.close c
+
 (* Two genuinely concurrent clients on their own sessions: one keeps
    tripping a fuel budget, the other keeps getting complete answers
    byte-identical to the sequential evaluation. *)
@@ -303,8 +334,10 @@ let suite =
   [
     Alcotest.test_case "served eval equals direct rendering" `Quick
       test_eval_matches_direct;
-    Alcotest.test_case "insert_facts reopens on the union" `Quick
+    Alcotest.test_case "insert_facts answers like the union" `Quick
       test_insert_facts;
+    Alcotest.test_case "retract_facts answers like the difference" `Quick
+      test_retract_facts;
     Alcotest.test_case "budget trip is isolated per request" `Quick
       test_budget_isolation;
     Alcotest.test_case "malformed frames get typed rejections" `Quick
